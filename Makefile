@@ -1,0 +1,53 @@
+# Development targets for the redotheory reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test test-short soak fuzz bench experiments examples tools cover clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+soak:
+	$(GO) test -run Soak -v .
+
+fuzz:
+	$(GO) test -fuzz FuzzDecodeMaterialize -fuzztime 30s ./internal/trace/
+	$(GO) test -fuzz FuzzInsertSequence -fuzztime 30s ./internal/btree/
+	$(GO) test -fuzz FuzzPageDecode -fuzztime 30s ./internal/btree/
+
+bench:
+	$(GO) test -run xxx -bench . -benchmem .
+
+experiments:
+	$(GO) test -run Experiment -v .
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/scenarios
+	$(GO) run ./examples/btreesplit
+	$(GO) run ./examples/crashsweep
+	$(GO) run ./examples/checker
+	$(GO) run ./examples/onlineaudit
+
+tools:
+	$(GO) run ./cmd/redograph -all
+	$(GO) run ./cmd/redosim -matrix
+	$(GO) run ./cmd/redosim -experiment splitlog
+	$(GO) run ./cmd/redosim -walfault
+
+cover:
+	$(GO) test -cover ./internal/...
+
+clean:
+	$(GO) clean -testcache

@@ -1,0 +1,281 @@
+// Command redograph rebuilds the paper's figures from the library: for a
+// chosen figure or scenario it prints the operations, the conflict graph
+// with edge kinds, the installation graph (showing which edges were
+// dropped), the states determined by each prefix, the exposure analysis,
+// and Graphviz DOT for the graphs.
+//
+// Usage:
+//
+//	redograph -figure 4        # Figures 1–8
+//	redograph -list            # list available scenarios
+//	redograph -all             # every scenario in paper order
+//	redograph -dot             # also print DOT output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"redotheory/internal/conflict"
+	"redotheory/internal/graph"
+	"redotheory/internal/install"
+	"redotheory/internal/model"
+	"redotheory/internal/stategraph"
+	"redotheory/internal/workload"
+	"redotheory/internal/writegraph"
+)
+
+func main() {
+	figure := flag.Int("figure", 0, "paper figure number (1-8)")
+	scenario := flag.String("scenario", "", "scenario by (sub)name, e.g. 'H,J' or 'Scenario 2'")
+	all := flag.Bool("all", false, "print every scenario")
+	list := flag.Bool("list", false, "list scenarios")
+	dot := flag.Bool("dot", false, "also print Graphviz DOT")
+	wg := flag.Bool("writegraph", false, "also derive the write graph with same-page writers collapsed (Figures 7 and 8)")
+	flag.Parse()
+
+	scenarios := workload.All()
+	if *list {
+		for _, sc := range scenarios {
+			fmt.Printf("%-22s %s\n", sc.Name, sc.Note)
+		}
+		return
+	}
+	var selected []workload.Scenario
+	switch {
+	case *all:
+		selected = scenarios
+	case *scenario != "":
+		for _, sc := range scenarios {
+			if strings.Contains(strings.ToLower(sc.Name), strings.ToLower(*scenario)) {
+				selected = append(selected, sc)
+			}
+		}
+		if len(selected) == 0 {
+			fmt.Fprintf(os.Stderr, "redograph: no scenario matching %q (try -list)\n", *scenario)
+			os.Exit(2)
+		}
+	case *figure != 0:
+		for _, sc := range scenarios {
+			if strings.Contains(sc.Name, fmt.Sprintf("Figure %d", *figure)) ||
+				strings.Contains(sc.Name, fmt.Sprintf("(Figure %d)", *figure)) {
+				selected = append(selected, sc)
+			}
+		}
+		// Figures 5 and 7 derive from the Figure 4 running example.
+		if len(selected) == 0 && (*figure == 5 || *figure == 7) {
+			selected = append(selected, workload.Figure4())
+		}
+		if len(selected) == 0 {
+			fmt.Fprintf(os.Stderr, "redograph: no scenario for figure %d (try -list)\n", *figure)
+			os.Exit(2)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	showWG := *wg || *figure == 7 || *figure == 8
+	for i, sc := range selected {
+		if i > 0 {
+			fmt.Println(strings.Repeat("=", 72))
+		}
+		render(sc, *dot)
+		if showWG {
+			renderWriteGraph(sc, *dot)
+		}
+	}
+}
+
+// renderWriteGraph derives the scenario's write graph, collapses the
+// writers of each variable into a single node (the one-cache-copy-per-
+// page regime of Figures 7 and 8), and prints the resulting nodes,
+// forced edges, and a legal install order.
+func renderWriteGraph(sc workload.Scenario, dot bool) {
+	cg := conflict.FromOps(sc.Ops...)
+	ig := install.FromConflict(cg)
+	sg, err := stategraph.FromConflict(cg, sc.Initial)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "redograph: %v\n", err)
+		os.Exit(1)
+	}
+	g := writegraph.FromInstallation(ig, sg)
+	fmt.Println("\nwrite graph (same-variable writers collapsed):")
+	for _, x := range g.Vars() {
+		ws := g.Writers(x)
+		if len(ws) < 2 {
+			continue
+		}
+		if _, err := g.Collapse(ws...); err != nil {
+			fmt.Printf("  collapse of %s-writers rejected: %v\n", x, err)
+		}
+	}
+	label := func(id writegraph.NodeID) string {
+		n := g.Node(id)
+		var ops []string
+		for _, op := range opsSorted(n) {
+			ops = append(ops, cg.Op(op).Name())
+		}
+		return "{" + strings.Join(ops, ",") + "}→" + strings.Join(varsOf(n), ",")
+	}
+	for _, id := range g.NodeIDs() {
+		fmt.Printf("  node %s\n", label(id))
+	}
+	for _, u := range g.DAG().Nodes() {
+		for _, v := range g.DAG().Succs(u) {
+			fmt.Printf("  edge %s -> %s (install order the cache manager must enforce)\n", label(u), label(v))
+		}
+	}
+	fmt.Println("legal install sequence:")
+	for {
+		m := g.UninstalledMinimal()
+		if len(m) == 0 {
+			break
+		}
+		if err := g.Install(m[0]); err != nil {
+			fmt.Fprintf(os.Stderr, "redograph: %v\n", err)
+			os.Exit(1)
+		}
+		if err := g.CheckExplainable(); err != nil {
+			fmt.Fprintf(os.Stderr, "redograph: state stopped being explainable: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  install %s -> stable state %v (explainable)\n", label(m[0]), g.DeterminedState())
+	}
+	if dot {
+		fmt.Println("\nwrite graph DOT:")
+		fmt.Println(graph.Dot(g.DAG(), graph.DotOptions[writegraph.NodeID]{
+			Name:      "writegraph",
+			NodeLabel: label,
+		}))
+	}
+}
+
+func opsSorted(n *writegraph.Node) []model.OpID {
+	out := make([]model.OpID, 0, len(n.Ops()))
+	for op := range n.Ops() {
+		out = append(out, op)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func varsOf(n *writegraph.Node) []string {
+	var out []string
+	for _, x := range n.Vars() {
+		out = append(out, string(x))
+	}
+	return out
+}
+
+func render(sc workload.Scenario, dot bool) {
+	fmt.Printf("%s — %s\n\n", sc.Name, sc.Note)
+	cg := conflict.FromOps(sc.Ops...)
+	ig := install.FromConflict(cg)
+	sg, err := stategraph.FromConflict(cg, sc.Initial)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "redograph: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Println("operations (invocation order):")
+	for _, id := range cg.InvocationOrder() {
+		op := cg.Op(id)
+		fmt.Printf("  %-18s reads %-8v writes %-8v\n", op, op.Reads(), op.Writes())
+	}
+
+	fmt.Println("\nconflict graph edges:")
+	printEdges(cg, cg.DAG(), func(u, v model.OpID) string { return cg.Kind(u, v).String() })
+	fmt.Println("installation graph edges (pure write-read edges dropped):")
+	printEdges(cg, ig.DAG(), func(u, v model.OpID) string { return cg.Kind(u, v).String() })
+	for _, u := range cg.DAG().Nodes() {
+		for _, v := range cg.DAG().Succs(u) {
+			if !ig.DAG().HasEdge(u, v) {
+				fmt.Printf("  dropped: %s -> %s (%s)\n", cg.Op(u), cg.Op(v), cg.Kind(u, v))
+			}
+		}
+	}
+
+	fmt.Println("\ninstallation-graph prefixes and the states they determine:")
+	prefixes, err := ig.DAG().EnumeratePrefixes(1 << 12)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "redograph: %v\n", err)
+		os.Exit(1)
+	}
+	sort.Slice(prefixes, func(i, j int) bool { return len(prefixes[i]) < len(prefixes[j]) })
+	conflictPrefixes := 0
+	for _, p := range prefixes {
+		det, err := ig.DeterminedState(sg, p)
+		if err != nil {
+			continue
+		}
+		tag := "installation-only"
+		if cg.DAG().IsPrefix(p) {
+			tag = "also conflict prefix"
+			conflictPrefixes++
+		}
+		exposed := install.ExposedVars(cg, p)
+		unexposed := install.UnexposedVars(cg, p)
+		fmt.Printf("  %-16s state %-24s exposed %-10v unexposed %-8v (%s)\n",
+			prefixName(cg, p), det, exposed, unexposed, tag)
+	}
+	fmt.Printf("prefix counts: installation graph %d, conflict graph %d\n",
+		len(prefixes), conflictPrefixes)
+
+	if sc.CrashState != nil {
+		installed := graph.NewSet(sc.Installed...)
+		fmt.Printf("\npaper's crash state %v with installed %s: ", sc.CrashState, prefixName(cg, installed))
+		err := ig.PotentiallyRecoverable(sg, installed, sc.CrashState)
+		switch {
+		case err == nil && sc.Recoverable:
+			fmt.Println("recoverable, as the paper says")
+		case err != nil && !sc.Recoverable:
+			fmt.Printf("unrecoverable, as the paper says (%v)\n", err)
+		default:
+			fmt.Printf("MISMATCH with the paper: err=%v want recoverable=%v\n", err, sc.Recoverable)
+		}
+	}
+
+	if dot {
+		fmt.Println("\nconflict graph DOT:")
+		fmt.Println(graph.Dot(cg.DAG(), graph.DotOptions[model.OpID]{
+			Name:      "conflict",
+			NodeLabel: func(id model.OpID) string { return cg.Op(id).String() },
+			EdgeAttrs: func(u, v model.OpID) string { return fmt.Sprintf("label=%q", cg.Kind(u, v)) },
+		}))
+		fmt.Println("installation graph DOT:")
+		fmt.Println(graph.Dot(ig.DAG(), graph.DotOptions[model.OpID]{
+			Name:      "installation",
+			NodeLabel: func(id model.OpID) string { return cg.Op(id).String() },
+		}))
+	}
+	fmt.Println()
+}
+
+func printEdges(cg *conflict.Graph, dag *graph.Graph[model.OpID], label func(u, v model.OpID) string) {
+	n := 0
+	for _, u := range dag.Nodes() {
+		for _, v := range dag.Succs(u) {
+			fmt.Printf("  %s -> %s (%s)\n", cg.Op(u), cg.Op(v), label(u, v))
+			n++
+		}
+	}
+	if n == 0 {
+		fmt.Println("  (none)")
+	}
+}
+
+func prefixName(cg *conflict.Graph, p graph.Set[model.OpID]) string {
+	if len(p) == 0 {
+		return "{}"
+	}
+	var names []string
+	for _, id := range cg.OpIDs() {
+		if p.Has(id) {
+			names = append(names, cg.Op(id).Name())
+		}
+	}
+	return "{" + strings.Join(names, ",") + "}"
+}

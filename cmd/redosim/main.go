@@ -1,0 +1,290 @@
+// Command redosim drives the crash/recovery experiments of Section 6:
+//
+//	redosim -matrix              # E9: methods × crash points, invariant audited at each
+//	redosim -experiment splitlog # E10: B-tree split log volume, physiological vs generalized
+//	redosim -walfault            # WAL fault injection: violations must be detected
+//	redosim -method genlsn -ops 50 -crash 30   # one run, verbose
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"text/tabwriter"
+
+	"redotheory/internal/btree"
+	"redotheory/internal/core"
+	"redotheory/internal/graph"
+	"redotheory/internal/method"
+	"redotheory/internal/model"
+	"redotheory/internal/sim"
+	"redotheory/internal/trace"
+	"redotheory/internal/workload"
+)
+
+var factories = []struct {
+	name string
+	mk   sim.Factory
+}{
+	{"logical", func(s *model.State) method.DB { return method.NewLogical(s) }},
+	{"physical", func(s *model.State) method.DB { return method.NewPhysical(s) }},
+	{"physiological", func(s *model.State) method.DB { return method.NewPhysiological(s) }},
+	{"physiological+dpt", func(s *model.State) method.DB { return method.NewPhysiologicalDPT(s) }},
+	{"genlsn", func(s *model.State) method.DB { return method.NewGenLSN(s) }},
+	{"genlsn+mv", func(s *model.State) method.DB { return method.NewGenLSNMV(s) }},
+	{"grouplsn", func(s *model.State) method.DB { return method.NewGroupLSN(s) }},
+}
+
+func factory(name string) (sim.Factory, bool) {
+	for _, f := range factories {
+		if f.name == name {
+			return f.mk, true
+		}
+	}
+	return nil, false
+}
+
+func main() {
+	matrix := flag.Bool("matrix", false, "run the E9 crash matrix over all methods")
+	experiment := flag.String("experiment", "", "named experiment: splitlog")
+	walfault := flag.Bool("walfault", false, "run WAL fault injection")
+	methodName := flag.String("method", "", "single method to run")
+	nOps := flag.Int("ops", 40, "operations in the workload")
+	nPages := flag.Int("pages", 8, "pages in the database")
+	crash := flag.Int("crash", -1, "crash after N ops (-1 = sweep all points)")
+	seed := flag.Int64("seed", 1, "random seed")
+	online := flag.Bool("online", false, "attach the live invariant auditor (page-LSN methods only)")
+	emitTrace := flag.Bool("emit-trace", false, "with -method and -crash: print the crash as a redocheck trace (JSON) instead of a report")
+	flag.Parse()
+
+	switch {
+	case *matrix:
+		runMatrix(*nOps, *nPages, *seed)
+	case *experiment == "splitlog":
+		runSplitLog(*seed)
+	case *experiment != "":
+		fmt.Fprintf(os.Stderr, "redosim: unknown experiment %q\n", *experiment)
+		os.Exit(2)
+	case *walfault:
+		runWALFault(*nOps, *nPages, *seed)
+	case *emitTrace:
+		if *methodName == "" || *crash < 0 {
+			fmt.Fprintln(os.Stderr, "redosim: -emit-trace requires -method and -crash")
+			os.Exit(2)
+		}
+		emitCrashTrace(*methodName, *nOps, *nPages, *crash, *seed)
+	case *methodName != "":
+		runOne(*methodName, *nOps, *nPages, *crash, *seed, *online)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runMatrix(nOps, nPages int, seed int64) {
+	pages := workload.Pages(nPages)
+	s0 := workload.InitialState(pages)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "method\tcrash points\trecovered\tinvariant held\treplayed ops\texamined records")
+	bad := false
+	for _, f := range factories {
+		ops, err := workload.ForMethod(f.name, nOps, pages, seed)
+		if err != nil {
+			fatal(err)
+		}
+		results, err := sim.Sweep(f.mk, ops, s0, seed)
+		if err != nil {
+			fatal(err)
+		}
+		s := sim.Summarize(results)
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\n",
+			s.Method, s.Runs, s.Recovered, s.InvariantOK, s.Replayed, s.Examined)
+		if s.Recovered != s.Runs || s.InvariantOK != s.Runs {
+			bad = true
+		}
+	}
+	w.Flush()
+	if bad {
+		fmt.Println("\nRESULT: FAIL — some crash point did not recover or violated the invariant")
+		os.Exit(1)
+	}
+	fmt.Println("\nRESULT: all methods recovered at every crash point with the invariant holding")
+}
+
+func runSplitLog(seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]int64, 2000)
+	for i := range keys {
+		keys[i] = rng.Int63n(10_000_000)
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "order\tsplits\tphysio split bytes\tgenlsn split bytes\tratio\tphysio total\tgenlsn total")
+	for _, order := range []int{8, 16, 32, 64} {
+		physio := method.NewPhysiological(model.NewState())
+		trP := btree.New(physio, btree.PhysiologicalSplit, order, 1)
+		gen := method.NewGenLSN(model.NewState())
+		trG := btree.New(gen, btree.GeneralizedSplit, order, 1)
+		for _, k := range keys {
+			if err := trP.Insert(k); err != nil {
+				fatal(err)
+			}
+			if err := trG.Insert(k); err != nil {
+				fatal(err)
+			}
+		}
+		pSplit, gSplit := btree.SplitLogBytes(physio.Log()), btree.SplitLogBytes(gen.Log())
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%.2fx\t%d\t%d\n",
+			order, trP.Splits, pSplit, gSplit, float64(pSplit)/float64(gSplit),
+			physio.Stats().LogBytes, gen.Stats().LogBytes)
+	}
+	w.Flush()
+	fmt.Println("\nratio = physiological / generalized split-record bytes; the gap is the physically-logged moved half (Section 6.4)")
+}
+
+func runWALFault(nOps, nPages int, seed int64) {
+	pages := workload.Pages(nPages)
+	s0 := workload.InitialState(pages)
+	ops := workload.SinglePage(nOps, pages, seed, false)
+	detected, runs := 0, 0
+	for crashAt := 1; crashAt <= len(ops); crashAt++ {
+		res, err := sim.Run(factoryMust("physiological"), sim.Config{
+			Ops: ops, Initial: s0, CrashAfter: crashAt, Seed: seed + int64(crashAt),
+			DisableWAL: true, FlushProb: 0.6, ForceProb: 0.05,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		runs++
+		if !res.InvariantOK || !res.Recovered {
+			detected++
+			if detected == 1 {
+				fmt.Printf("first detection at crash point %d (invariant ok=%v, recovered=%v):\n",
+					crashAt, res.InvariantOK, res.Recovered)
+				for _, v := range res.Violations {
+					fmt.Printf("  %s\n", v)
+				}
+			}
+		}
+	}
+	fmt.Printf("\nWAL disabled: %d/%d crash points produced a detectable invariant violation\n", detected, runs)
+	if detected == 0 {
+		fmt.Println("RESULT: FAIL — fault injection was inert")
+		os.Exit(1)
+	}
+	fmt.Println("RESULT: the checker catches write-ahead-log violations")
+}
+
+func runOne(name string, nOps, nPages, crash int, seed int64, online bool) {
+	mk, ok := factory(name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "redosim: unknown method %q\n", name)
+		os.Exit(2)
+	}
+	pages := workload.Pages(nPages)
+	s0 := workload.InitialState(pages)
+	ops, err := workload.ForMethod(name, nOps, pages, seed)
+	if err != nil {
+		fatal(err)
+	}
+	if crash < 0 {
+		results, err := sim.Sweep(mk, ops, s0, seed)
+		if err != nil {
+			fatal(err)
+		}
+		s := sim.Summarize(results)
+		fmt.Printf("%s: %d/%d crash points recovered, invariant held at %d/%d\n",
+			s.Method, s.Recovered, s.Runs, s.InvariantOK, s.Runs)
+		return
+	}
+	res, err := sim.Run(mk, sim.Config{Ops: ops, Initial: s0, CrashAfter: crash, Seed: seed, OnlineAudit: online})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("method         %s\n", res.Method)
+	if online {
+		fmt.Printf("online audits  %d (all ok: %v)\n", res.OnlineAudits, res.OnlineOK)
+	}
+	fmt.Printf("crash point    %d of %d ops\n", crash, len(ops))
+	fmt.Printf("stable ops     %d\n", res.StableOps)
+	fmt.Printf("replayed       %d (examined %d records)\n", res.Replayed, res.Examined)
+	fmt.Printf("recovered      %v\n", res.Recovered)
+	fmt.Printf("invariant ok   %v\n", res.InvariantOK)
+	for _, v := range res.Violations {
+		fmt.Printf("  violation: %s\n", v)
+	}
+	fmt.Printf("stats          %+v\n", res.Stats)
+	if !res.Recovered || !res.InvariantOK {
+		os.Exit(1)
+	}
+}
+
+// emitCrashTrace replays one crash scenario and prints it as a
+// redocheck-compatible trace: the stable log's operations with their
+// written values, the stable state, and the installed set the method's
+// redo test implies. Pipe it into redocheck:
+//
+//	redosim -emit-trace -method genlsn -ops 30 -crash 20 | redocheck -
+func emitCrashTrace(name string, nOps, nPages, crash int, seed int64) {
+	mk, ok := factory(name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "redosim: unknown method %q\n", name)
+		os.Exit(2)
+	}
+	pages := workload.Pages(nPages)
+	s0 := workload.InitialState(pages)
+	ops, err := workload.ForMethod(name, nOps, pages, seed)
+	if err != nil {
+		fatal(err)
+	}
+	if crash > len(ops) {
+		fatal(fmt.Errorf("crash point %d beyond %d ops", crash, len(ops)))
+	}
+	db := mk(s0)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < crash; i++ {
+		if err := db.Exec(ops[i]); err != nil {
+			fatal(err)
+		}
+		if rng.Float64() < 0.3 {
+			db.FlushOne()
+		}
+		if rng.Float64() < 0.2 {
+			db.FlushLog()
+		}
+	}
+	db.Crash()
+	stableLog := db.StableLog()
+	redoSet, err := core.PredictRedoSet(db.StableState(), stableLog, db.Checkpointed(), db.RedoTest(), db.Analyze())
+	if err != nil {
+		fatal(err)
+	}
+	installed := graph.NewSet[model.OpID]()
+	for _, op := range stableLog.Ops() {
+		if !redoSet.Has(op.ID()) {
+			installed.Add(op.ID())
+		}
+	}
+	tr, err := trace.Capture(stableLog.Ops(), db.RecoveryBase(), db.StableState(), installed)
+	if err != nil {
+		fatal(err)
+	}
+	data, err := tr.Encode()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(string(data))
+}
+
+func factoryMust(name string) sim.Factory {
+	mk, ok := factory(name)
+	if !ok {
+		panic(name)
+	}
+	return mk
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "redosim: %v\n", err)
+	os.Exit(1)
+}

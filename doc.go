@@ -1,0 +1,17 @@
+// Package redotheory is an executable reproduction of David Lomet and
+// Mark Tuttle's "A Theory of Redo Recovery" (SIGMOD 2003): the conflict,
+// installation, state, and write graphs; exposed variables and
+// explainable states; the abstract redo recovery procedure and its
+// Recovery Invariant; a checker that audits the invariant; and the four
+// real recovery methods of Section 6 (logical, physical, physiological,
+// and generalized LSN) running on simulated substrates — a page store,
+// a write-ahead log manager, a cache manager with careful write
+// ordering, and a B-tree.
+//
+// The library lives under internal/; see README.md for the map,
+// DESIGN.md for the paper-to-module inventory, and EXPERIMENTS.md for
+// the paper-versus-measured record of every figure. The root package
+// holds the benchmark harness (bench_test.go) and the experiment
+// harnesses (experiments_test.go) that regenerate the paper's figures
+// and claims.
+package redotheory

@@ -1,0 +1,3 @@
+module redotheory
+
+go 1.22

@@ -1,0 +1,57 @@
+package btree
+
+import (
+	"testing"
+
+	"redotheory/internal/model"
+)
+
+// FuzzPageDecode checks the page codec never panics on arbitrary bytes
+// and round-trips everything it accepts.
+func FuzzPageDecode(f *testing.F) {
+	f.Add([]byte(`{"leaf":true,"keys":[1,2,3]}`))
+	f.Add([]byte(`{"leaf":false,"keys":[10],"kids":["a","b"]}`))
+	f.Add([]byte(``))
+	f.Add([]byte(`garbage`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := decodePage(model.Value(data))
+		if err != nil || p == nil {
+			return
+		}
+		q, err := decodePage(encodePage(p))
+		if err != nil || q == nil {
+			t.Fatalf("accepted page failed to round-trip: %v", err)
+		}
+		if q.Leaf != p.Leaf || len(q.Keys) != len(p.Keys) || len(q.Kids) != len(p.Kids) {
+			t.Fatal("round trip changed the page")
+		}
+	})
+}
+
+// FuzzInsertSequence drives tree inserts from a byte string and checks
+// the invariants hold and every inserted key is findable.
+func FuzzInsertSequence(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	f.Add([]byte{9, 9, 9, 0, 0, 1})
+	f.Add([]byte{255, 254, 253, 252, 251, 250, 249, 248})
+	f.Fuzz(func(t *testing.T, keys []byte) {
+		if len(keys) > 64 {
+			keys = keys[:64]
+		}
+		tr := New(&stateExec{s: model.NewState()}, GeneralizedSplit, 4, 1)
+		for _, k := range keys {
+			if err := tr.Insert(int64(k)); err != nil {
+				t.Fatalf("insert %d: %v", k, err)
+			}
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("invariants broken: %v", err)
+		}
+		for _, k := range keys {
+			ok, err := tr.Search(int64(k))
+			if err != nil || !ok {
+				t.Fatalf("key %d missing after insert (err=%v)", k, err)
+			}
+		}
+	})
+}

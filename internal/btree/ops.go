@@ -1,0 +1,114 @@
+package btree
+
+import (
+	"fmt"
+
+	"redotheory/internal/model"
+)
+
+// This file defines the logged operations the tree emits. Every apply
+// function is a pure function of the operation's read-set values (plus
+// values captured at creation time, which replay re-supplies verbatim),
+// as the model requires for redo to work.
+
+// insertLeafOp inserts a key into a leaf: read page, write page.
+func insertLeafOp(id model.OpID, page model.Var, key int64) *model.Op {
+	return model.NewOp(id, fmt.Sprintf("ins(%d)@%s", key, page),
+		[]model.Var{page}, []model.Var{page},
+		func(r model.ReadSet) model.WriteSet {
+			p := mustDecode(r[page])
+			p.insertKey(key)
+			return model.WriteSet{page: encodePage(p)}
+		})
+}
+
+// deleteLeafOp removes a key from a leaf (no rebalancing: the tree only
+// needs deletes for API completeness, not for the split experiments).
+func deleteLeafOp(id model.OpID, page model.Var, key int64) *model.Op {
+	return model.NewOp(id, fmt.Sprintf("del(%d)@%s", key, page),
+		[]model.Var{page}, []model.Var{page},
+		func(r model.ReadSet) model.WriteSet {
+			p := mustDecode(r[page])
+			p.removeKey(key)
+			return model.WriteSet{page: encodePage(p)}
+		})
+}
+
+// mkRootOp creates the tree's first leaf: a blind write of the root page.
+func mkRootOp(id model.OpID, root model.Var, key int64) *model.Op {
+	img := encodePage(&nodePage{Leaf: true, Keys: []int64{key}})
+	return model.NewOp(id, fmt.Sprintf("mkroot(%d)@%s", key, root), nil, []model.Var{root},
+		func(model.ReadSet) model.WriteSet {
+			return model.WriteSet{root: img}
+		})
+}
+
+// initImageOp physically logs a page image: a blind write carrying the
+// full image, as physiological split logging requires for the new page.
+func initImageOp(id model.OpID, page model.Var, img model.Value) *model.Op {
+	return model.NewOp(id, fmt.Sprintf("init@%s", page), nil, []model.Var{page},
+		func(model.ReadSet) model.WriteSet {
+			return model.WriteSet{page: img}
+		})
+}
+
+// splitRightOp is the generalized split operation of Section 6.4 /
+// Figure 8: it reads the old (full) page and writes the new page with
+// the upper half of its contents — no image in the log, just this
+// descriptor.
+func splitRightOp(id model.OpID, old, new_ model.Var) *model.Op {
+	return model.NewOp(id, fmt.Sprintf("split(%s->%s)", old, new_),
+		[]model.Var{old}, []model.Var{new_},
+		func(r model.ReadSet) model.WriteSet {
+			_, _, right := mustDecode(r[old]).splitPoint()
+			return model.WriteSet{new_: encodePage(right)}
+		})
+}
+
+// truncateOp completes a split by rewriting the old page with the lower
+// half of its contents ("a subsequent operation then removes the moved
+// half", Section 6.4). Used by both strategies.
+func truncateOp(id model.OpID, old model.Var) *model.Op {
+	return model.NewOp(id, fmt.Sprintf("trunc(%s)", old),
+		[]model.Var{old}, []model.Var{old},
+		func(r model.ReadSet) model.WriteSet {
+			_, left, _ := mustDecode(r[old]).splitPoint()
+			return model.WriteSet{old: encodePage(left)}
+		})
+}
+
+// parentInsertOp records the new sibling in the parent: read parent,
+// write parent, inserting the captured separator and pointer.
+func parentInsertOp(id model.OpID, parent model.Var, sep int64, kid model.Var) *model.Op {
+	return model.NewOp(id, fmt.Sprintf("sep(%d,%s)@%s", sep, kid, parent),
+		[]model.Var{parent}, []model.Var{parent},
+		func(r model.ReadSet) model.WriteSet {
+			p := mustDecode(r[parent])
+			p.insertChild(sep, kid)
+			return model.WriteSet{parent: encodePage(p)}
+		})
+}
+
+// rootToInternalOp rewrites a just-split root as an internal node over
+// the two captured children; the separator is recomputed from the old
+// root image it reads, keeping the operation pure.
+func rootToInternalOp(id model.OpID, root, left, right model.Var) *model.Op {
+	return model.NewOp(id, fmt.Sprintf("newroot(%s,%s)@%s", left, right, root),
+		[]model.Var{root}, []model.Var{root},
+		func(r model.ReadSet) model.WriteSet {
+			sep, _, _ := mustDecode(r[root]).splitPoint()
+			p := &nodePage{Keys: []int64{sep}, Kids: []model.Var{left, right}}
+			return model.WriteSet{root: encodePage(p)}
+		})
+}
+
+// splitLeftToOp is the generalized root-split helper: it reads the root
+// and writes the captured left page with the lower half.
+func splitLeftToOp(id model.OpID, root, left model.Var) *model.Op {
+	return model.NewOp(id, fmt.Sprintf("split(%s->%s.L)", root, left),
+		[]model.Var{root}, []model.Var{left},
+		func(r model.ReadSet) model.WriteSet {
+			_, l, _ := mustDecode(r[root]).splitPoint()
+			return model.WriteSet{left: encodePage(l)}
+		})
+}

@@ -1,0 +1,126 @@
+// Package btree is a page-oriented B+-tree used by the Section 6.4
+// experiment: node splits logged physiologically (the moved half is
+// physically logged as a blind init of the new page) versus with
+// generalized read-one-page-write-another operations (the split ships a
+// short descriptor and the cache manager enforces the Figure 8 careful
+// write order: new page before old page).
+//
+// The tree executes its mutations through an Executor — any recovery
+// method's DB — so crash and recovery behaviour come entirely from the
+// method under test.
+package btree
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"redotheory/internal/model"
+)
+
+// nodePage is the on-page representation of a tree node. Internal nodes
+// hold len(Keys)+1 children; child i covers keys k with
+// Keys[i-1] ≤ k < Keys[i].
+type nodePage struct {
+	Leaf bool        `json:"leaf"`
+	Keys []int64     `json:"keys"`
+	Kids []model.Var `json:"kids,omitempty"`
+}
+
+// encodePage serializes a node into a page value.
+func encodePage(p *nodePage) model.Value {
+	b, err := json.Marshal(p)
+	if err != nil {
+		panic(fmt.Sprintf("btree: encoding page: %v", err)) // marshal of this struct cannot fail
+	}
+	return model.Value(b)
+}
+
+// decodePage parses a page value. The zero value decodes to nil (no
+// page).
+func decodePage(v model.Value) (*nodePage, error) {
+	if v == "" {
+		return nil, nil
+	}
+	var p nodePage
+	if err := json.Unmarshal([]byte(v), &p); err != nil {
+		return nil, fmt.Errorf("btree: corrupt page: %w", err)
+	}
+	return &p, nil
+}
+
+// mustDecode parses a page value inside an operation's apply function,
+// where a decode failure means recovery replayed the operation against a
+// state the invariant forbids — a bug worth a loud stop.
+func mustDecode(v model.Value) *nodePage {
+	p, err := decodePage(v)
+	if err != nil {
+		panic(err)
+	}
+	if p == nil {
+		panic("btree: operation replayed against a missing page")
+	}
+	return p
+}
+
+// insertKey inserts k into sorted order; duplicate inserts are no-ops.
+func (p *nodePage) insertKey(k int64) {
+	i := sort.Search(len(p.Keys), func(i int) bool { return p.Keys[i] >= k })
+	if i < len(p.Keys) && p.Keys[i] == k {
+		return
+	}
+	p.Keys = append(p.Keys, 0)
+	copy(p.Keys[i+1:], p.Keys[i:])
+	p.Keys[i] = k
+}
+
+// removeKey removes k if present, reporting whether it was.
+func (p *nodePage) removeKey(k int64) bool {
+	i := sort.Search(len(p.Keys), func(i int) bool { return p.Keys[i] >= k })
+	if i >= len(p.Keys) || p.Keys[i] != k {
+		return false
+	}
+	p.Keys = append(p.Keys[:i], p.Keys[i+1:]...)
+	return true
+}
+
+// childIndex returns the index of the child to descend into for k.
+func (p *nodePage) childIndex(k int64) int {
+	return sort.Search(len(p.Keys), func(i int) bool { return k < p.Keys[i] })
+}
+
+// splitPoint returns the separator key and the images of the left and
+// right halves for a full node. For a leaf the separator is the right
+// half's first key (it stays in the leaf); for an internal node the
+// separator is promoted and appears in neither half.
+func (p *nodePage) splitPoint() (sep int64, left, right *nodePage) {
+	mid := len(p.Keys) / 2
+	if p.Leaf {
+		sep = p.Keys[mid]
+		left = &nodePage{Leaf: true, Keys: append([]int64{}, p.Keys[:mid]...)}
+		right = &nodePage{Leaf: true, Keys: append([]int64{}, p.Keys[mid:]...)}
+		return sep, left, right
+	}
+	sep = p.Keys[mid]
+	left = &nodePage{
+		Keys: append([]int64{}, p.Keys[:mid]...),
+		Kids: append([]model.Var{}, p.Kids[:mid+1]...),
+	}
+	right = &nodePage{
+		Keys: append([]int64{}, p.Keys[mid+1:]...),
+		Kids: append([]model.Var{}, p.Kids[mid+1:]...),
+	}
+	return sep, left, right
+}
+
+// insertChild inserts separator s and the pointer to the new right
+// sibling into an internal node.
+func (p *nodePage) insertChild(s int64, kid model.Var) {
+	i := sort.Search(len(p.Keys), func(i int) bool { return p.Keys[i] >= s })
+	p.Keys = append(p.Keys, 0)
+	copy(p.Keys[i+1:], p.Keys[i:])
+	p.Keys[i] = s
+	p.Kids = append(p.Kids, "")
+	copy(p.Kids[i+2:], p.Kids[i+1:])
+	p.Kids[i+1] = kid
+}

@@ -1,0 +1,37 @@
+package btree
+
+import (
+	"strings"
+
+	"redotheory/internal/core"
+)
+
+// SplitLogBytes sums the simulated wire size of the log records that
+// carry a split's new-page contents — "init@…" records under
+// physiological logging (full page image) and "split(…" records under
+// generalized logging (descriptor only). This isolates the Section 6.4
+// log-volume comparison from the insert traffic both strategies share.
+func SplitLogBytes(l *core.Log) int {
+	total := 0
+	for _, r := range l.Records() {
+		name := r.Op.Name()
+		if strings.HasPrefix(name, "init@") || strings.HasPrefix(name, "split(") {
+			total += r.SizeBytes()
+		}
+	}
+	return total
+}
+
+// LogBytesByKind buckets record sizes by operation kind (the name up to
+// the first '(' or '@'), for the experiment reports.
+func LogBytesByKind(l *core.Log) map[string]int {
+	out := make(map[string]int)
+	for _, r := range l.Records() {
+		name := r.Op.Name()
+		if i := strings.IndexAny(name, "(@"); i >= 0 {
+			name = name[:i]
+		}
+		out[name] += r.SizeBytes()
+	}
+	return out
+}

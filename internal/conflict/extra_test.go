@@ -1,0 +1,123 @@
+package conflict
+
+import (
+	"testing"
+
+	"redotheory/internal/model"
+)
+
+func TestSelfFollowingWriteExcluded(t *testing.T) {
+	// H: ⟨x++;y++⟩ then J: y←0. H reads y (version 0) and itself writes
+	// y, so H — not J — is the "following write" for H's own read: the
+	// definition never relates an operation to itself, and H→J carries
+	// only the write-write conflict. (The edge survives in the
+	// installation graph either way, which is what Section 5 needs.)
+	h := model.IncrBoth(1, "x", 1, "y", 1)
+	j := model.AssignConst(2, "y", model.IntVal(0))
+	g := FromOps(h, j)
+	if k := g.Kind(1, 2); k != WW {
+		t.Errorf("H→J kind = %v, want WW only", k)
+	}
+}
+
+func TestReadersAcrossVersionsGetDistinctFollowingWrites(t *testing.T) {
+	// r1 reads version 0, w1 writes, r2 reads version 1, w2 writes:
+	// r1→w1 and r2→w2 are the only RW edges.
+	r1 := model.CopyPlus(1, "a", "x", 0)
+	w1 := model.AssignConst(2, "x", model.IntVal(1))
+	r2 := model.CopyPlus(3, "b", "x", 0)
+	w2 := model.AssignConst(4, "x", model.IntVal(2))
+	g := FromOps(r1, w1, r2, w2)
+	if g.Kind(1, 2) != RW {
+		t.Errorf("r1→w1 = %v", g.Kind(1, 2))
+	}
+	if g.Kind(3, 4) != RW {
+		t.Errorf("r2→w2 = %v", g.Kind(3, 4))
+	}
+	if g.Kind(1, 4) != 0 {
+		t.Errorf("r1→w2 = %v, want none (w1 intervenes)", g.Kind(1, 4))
+	}
+	if g.Kind(2, 3) != WR {
+		t.Errorf("w1→r2 = %v", g.Kind(2, 3))
+	}
+	if g.Kind(2, 4) != WW {
+		t.Errorf("w1→w2 = %v", g.Kind(2, 4))
+	}
+}
+
+func TestConcurrentReadersShareNoEdge(t *testing.T) {
+	// Two readers of the same version do not conflict with each other.
+	r1 := model.CopyPlus(1, "a", "x", 0)
+	r2 := model.CopyPlus(2, "b", "x", 0)
+	g := FromOps(r1, r2)
+	if g.Kind(1, 2) != 0 && g.Kind(2, 1) != 0 {
+		t.Error("readers of the same version must not conflict")
+	}
+	if g.DAG().NumEdges() != 0 {
+		t.Errorf("edges = %d", g.DAG().NumEdges())
+	}
+}
+
+func TestVersionRead(t *testing.T) {
+	w1 := model.AssignConst(1, "x", model.IntVal(1))
+	r := model.CopyPlus(2, "y", "x", 0)
+	w2 := model.Incr(3, "x", 1)
+	g := FromOps(w1, r, w2)
+	if v, ok := g.VersionRead(2, "x"); !ok || v != 1 {
+		t.Errorf("r read version %d,%v, want 1", v, ok)
+	}
+	if v, ok := g.VersionRead(3, "x"); !ok || v != 1 {
+		t.Errorf("w2 (x←x+1) read version %d,%v, want 1", v, ok)
+	}
+	if _, ok := g.VersionRead(1, "x"); ok {
+		t.Error("blind write reported a read version")
+	}
+	if _, ok := g.VersionRead(2, "zz"); ok {
+		t.Error("unread variable reported a version")
+	}
+}
+
+func TestEqualKindSensitivity(t *testing.T) {
+	// Graphs with the same edges but different kinds compare unequal.
+	// x←x+1 then x←x+1: WW|WR. Compare against blind x←1 then x←x+1:
+	// also WW|WR? The first writes then the increment reads it: same
+	// kinds. Build a genuinely different pair instead: read-then-write
+	// (RW) vs write-then-read-write (WW|WR).
+	a1 := model.CopyPlus(1, "y", "x", 0) // reads x
+	b1 := model.AssignConst(2, "x", model.IntVal(1))
+	g1 := FromOps(a1, b1) // RW edge 1→2
+
+	a2 := model.AssignConst(1, "x", model.IntVal(1))
+	b2 := model.Incr(2, "x", 1)
+	g2 := FromOps(a2, b2) // WW|WR edge 1→2
+	if g1.Equal(g2) {
+		t.Error("different kinds compared equal")
+	}
+}
+
+func TestNumOpsAndHasOp(t *testing.T) {
+	g := FromOps(model.Incr(5, "x", 1))
+	if g.NumOps() != 1 || !g.HasOp(5) || g.HasOp(6) {
+		t.Error("op accounting wrong")
+	}
+	if g.Op(6) != nil {
+		t.Error("unknown op non-nil")
+	}
+}
+
+func TestLongChainStructure(t *testing.T) {
+	// A 1000-op increment chain forms a path graph with WW|WR edges.
+	g := New()
+	for i := 1; i <= 1000; i++ {
+		g.Append(model.Incr(model.OpID(i), "x", 1))
+	}
+	if g.DAG().NumEdges() != 999 {
+		t.Errorf("edges = %d, want 999", g.DAG().NumEdges())
+	}
+	if len(g.Writers("x")) != 1000 {
+		t.Error("writer chain incomplete")
+	}
+	if g.NumVersions("x") != 1001 {
+		t.Errorf("versions = %d", g.NumVersions("x"))
+	}
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+
+	"redotheory/internal/graph"
+	"redotheory/internal/model"
+)
+
+// Analysis is the opaque value produced by a recovery method's analysis
+// phase (Section 4.3). It might be a log position, a dirty-page table, or
+// nothing at all.
+type Analysis interface{}
+
+// AnalyzeFunc maps a state, a log, the set of currently unrecovered
+// operations, and the previous analysis to a new analysis. The recovery
+// procedure invokes it at the start of every loop iteration with the
+// previous value (nil on the first iteration); a method with a single
+// up-front analysis phase returns its computed value on the first call
+// and echoes prev thereafter.
+type AnalyzeFunc func(state *model.State, log *Log, unrecovered graph.Set[model.OpID], prev Analysis) Analysis
+
+// RedoTest decides whether a logged operation should be replayed
+// (Section 4.4). It is the heart of the recovery procedure.
+type RedoTest func(op *model.Op, state *model.State, log *Log, analysis Analysis) bool
+
+// Result reports what an execution of the recovery procedure did.
+type Result struct {
+	// State is the rebuilt system state at termination.
+	State *model.State
+	// RedoSet is the set of operations for which the redo test returned
+	// true (the paper's redo_set).
+	RedoSet graph.Set[model.OpID]
+	// Installed is operations(log) − redo_set: the operations recovery
+	// considered installed.
+	Installed graph.Set[model.OpID]
+	// Replayed lists the redone operations in replay (log) order.
+	Replayed []model.OpID
+	// Examined counts loop iterations (log records examined).
+	Examined int
+}
+
+// Recover is the redo recovery procedure of Figure 6. It scans the
+// unrecovered operations — the logged operations outside the checkpoint —
+// in log order; for each it runs the analysis phase, applies the redo
+// test, and replays the operation if the test says yes. The state is
+// mutated in place and also returned in the Result.
+//
+// Correctness is the Recovery Corollary (Corollary 4): if the installed
+// set operations(log) − redo_set induces a prefix of the installation
+// graph that explains the pre-recovery state, Recover terminates with the
+// state determined by the conflict graph.
+func Recover(state *model.State, log *Log, checkpoint graph.Set[model.OpID], redo RedoTest, analyze AnalyzeFunc) (*Result, error) {
+	res := &Result{
+		State:     state,
+		RedoSet:   graph.NewSet[model.OpID](),
+		Installed: graph.NewSet[model.OpID](),
+	}
+	var analysis Analysis
+	for _, r := range log.Records() {
+		if checkpoint.Has(r.Op.ID()) {
+			res.Installed.Add(r.Op.ID())
+			continue
+		}
+		// O is the minimal operation in unrecovered: records are visited
+		// in LSN order, which is consistent with the conflict order.
+		res.Examined++
+		if analyze != nil {
+			analysis = analyze(state, log, unrecoveredAfter(log, checkpoint, r.LSN), analysis)
+		}
+		if redo(r.Op, state, log, analysis) {
+			res.RedoSet.Add(r.Op.ID())
+			res.Replayed = append(res.Replayed, r.Op.ID())
+			if _, err := state.Apply(r.Op); err != nil {
+				return nil, fmt.Errorf("core: replaying %s: %w", r.Op, err)
+			}
+		} else {
+			res.Installed.Add(r.Op.ID())
+		}
+	}
+	return res, nil
+}
+
+// unrecoveredAfter returns the operations still unrecovered when the
+// record with the given LSN is about to be examined: logged operations
+// outside the checkpoint with LSN ≥ from.
+func unrecoveredAfter(log *Log, checkpoint graph.Set[model.OpID], from LSN) graph.Set[model.OpID] {
+	out := graph.NewSet[model.OpID]()
+	for _, r := range log.Records() {
+		if r.LSN >= from && !checkpoint.Has(r.Op.ID()) {
+			out.Add(r.Op.ID())
+		}
+	}
+	return out
+}
+
+// PredictRedoSet runs the recovery procedure against a clone of the state
+// and returns the redo set it would choose, leaving the real state
+// untouched. The Recovery Invariant (Section 4.5) quantifies over exactly
+// this hypothetical: "if, at any time, the recovery procedure would
+// choose to redo some set of operations…"; the invariant checker uses
+// this to audit a live system without disturbing it.
+func PredictRedoSet(state *model.State, log *Log, checkpoint graph.Set[model.OpID], redo RedoTest, analyze AnalyzeFunc) (graph.Set[model.OpID], error) {
+	res, err := Recover(state.Clone(), log, checkpoint, redo, analyze)
+	if err != nil {
+		return nil, err
+	}
+	return res.RedoSet, nil
+}

@@ -1,0 +1,57 @@
+package graph
+
+import (
+	"cmp"
+	"fmt"
+	"strings"
+)
+
+// DotOptions controls DOT rendering of a graph.
+type DotOptions[K cmp.Ordered] struct {
+	// Name is the digraph name; defaults to "G".
+	Name string
+	// NodeLabel renders a node's label; defaults to fmt.Sprint of the key.
+	NodeLabel func(K) string
+	// NodeAttrs returns extra DOT attributes for a node (e.g.
+	// "style=filled"), without surrounding brackets. Optional.
+	NodeAttrs func(K) string
+	// EdgeAttrs returns extra DOT attributes for an edge. Optional.
+	EdgeAttrs func(u, v K) string
+}
+
+// Dot renders the graph in Graphviz DOT syntax with deterministic node and
+// edge order, used by cmd/redograph to regenerate the paper's figures.
+func Dot[K cmp.Ordered](g *Graph[K], opts DotOptions[K]) string {
+	name := opts.Name
+	if name == "" {
+		name = "G"
+	}
+	label := opts.NodeLabel
+	if label == nil {
+		label = func(k K) string { return fmt.Sprint(k) }
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %s {\n  rankdir=LR;\n", name)
+	for _, k := range g.Nodes() {
+		attrs := fmt.Sprintf("label=%q", label(k))
+		if opts.NodeAttrs != nil {
+			if extra := opts.NodeAttrs(k); extra != "" {
+				attrs += ", " + extra
+			}
+		}
+		fmt.Fprintf(&b, "  %q [%s];\n", fmt.Sprint(k), attrs)
+	}
+	for _, u := range g.Nodes() {
+		for _, v := range g.Succs(u) {
+			if opts.EdgeAttrs != nil {
+				if extra := opts.EdgeAttrs(u, v); extra != "" {
+					fmt.Fprintf(&b, "  %q -> %q [%s];\n", fmt.Sprint(u), fmt.Sprint(v), extra)
+					continue
+				}
+			}
+			fmt.Fprintf(&b, "  %q -> %q;\n", fmt.Sprint(u), fmt.Sprint(v))
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,182 @@
+package graph
+
+import (
+	"cmp"
+	"fmt"
+	"sort"
+)
+
+// Set is a node set used for prefixes and installed sets.
+type Set[K comparable] map[K]struct{}
+
+// NewSet builds a Set from keys.
+func NewSet[K comparable](ks ...K) Set[K] {
+	s := make(Set[K], len(ks))
+	for _, k := range ks {
+		s[k] = struct{}{}
+	}
+	return s
+}
+
+// Has reports membership.
+func (s Set[K]) Has(k K) bool {
+	_, ok := s[k]
+	return ok
+}
+
+// Add inserts k.
+func (s Set[K]) Add(k K) { s[k] = struct{}{} }
+
+// Clone copies the set.
+func (s Set[K]) Clone() Set[K] {
+	c := make(Set[K], len(s))
+	for k := range s {
+		c[k] = struct{}{}
+	}
+	return c
+}
+
+// IsPrefix reports whether the node set is a prefix of the graph: every
+// node is present and every predecessor of a member is a member. Direct
+// predecessors suffice — a set closed under direct predecessors is closed
+// under all of them.
+func (g *Graph[K]) IsPrefix(s Set[K]) bool {
+	_, ok := g.PrefixViolation(s)
+	return !ok
+}
+
+// PrefixViolation returns an edge u→v with v in the set and u outside it,
+// if one exists; such an edge witnesses that the set is not a prefix. A
+// set member that is not a node of the graph is reported as a self-pair.
+func (g *Graph[K]) PrefixViolation(s Set[K]) ([2]K, bool) {
+	// Deterministic scan so checker reports are stable.
+	members := make([]K, 0, len(s))
+	for k := range s {
+		members = append(members, k)
+	}
+	sortSlice(members)
+	for _, v := range members {
+		if !g.HasNode(v) {
+			return [2]K{v, v}, true
+		}
+		for _, u := range g.Preds(v) {
+			if !s.Has(u) {
+				return [2]K{u, v}, true
+			}
+		}
+	}
+	return [2]K{}, false
+}
+
+func sortSlice[K cmp.Ordered](ks []K) {
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+}
+
+// PrefixClosure returns the smallest prefix containing s: s plus every
+// ancestor of every member.
+func (g *Graph[K]) PrefixClosure(s Set[K]) Set[K] {
+	out := s.Clone()
+	stack := make([]K, 0, len(s))
+	for k := range s {
+		stack = append(stack, k)
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for p := range g.preds[n] {
+			if !out.Has(p) {
+				out.Add(p)
+				stack = append(stack, p)
+			}
+		}
+	}
+	return out
+}
+
+// MinimalOutside returns, in sorted order, the nodes outside the set with
+// no direct predecessor outside the set. When the set is a prefix these
+// are exactly the minimal elements of the complement under the full path
+// order (no path between complement nodes can route through the prefix,
+// because prefixes have no incoming edges from outside).
+func (g *Graph[K]) MinimalOutside(s Set[K]) []K {
+	var out []K
+	for k := range g.nodes {
+		if s.Has(k) {
+			continue
+		}
+		minimal := true
+		for p := range g.preds[k] {
+			if !s.Has(p) {
+				minimal = false
+				break
+			}
+		}
+		if minimal {
+			out = append(out, k)
+		}
+	}
+	sortSlice(out)
+	return out
+}
+
+// EnumeratePrefixes returns every prefix of the graph (including the
+// empty set and the full node set), or an error once more than limit
+// prefixes exist. The count is exponential in the graph's width; callers
+// use this only on the small histories of the equivalence experiments.
+func (g *Graph[K]) EnumeratePrefixes(limit int) ([]Set[K], error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	prefixes := []Set[K]{NewSet[K]()}
+	// Process nodes in topological order; each node may be added to any
+	// existing prefix that already contains all its predecessors.
+	for _, n := range order {
+		grown := make([]Set[K], 0, len(prefixes))
+		for _, p := range prefixes {
+			ok := true
+			for pred := range g.preds[n] {
+				if !p.Has(pred) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				withN := p.Clone()
+				withN.Add(n)
+				grown = append(grown, withN)
+			}
+		}
+		prefixes = append(prefixes, grown...)
+		if len(prefixes) > limit {
+			return nil, fmt.Errorf("graph: more than %d prefixes", limit)
+		}
+	}
+	return prefixes, nil
+}
+
+// MinimalByReachability returns the minimal elements of an arbitrary node
+// subset under the full path order: members with no other member having a
+// path to them. Paths may route through nodes outside the subset. This is
+// the reference implementation used to cross-check the cheaper
+// chain-based computations; it costs O(|subset| · edges).
+func (g *Graph[K]) MinimalByReachability(subset Set[K]) []K {
+	var out []K
+	for k := range subset {
+		minimal := true
+		for other := range subset {
+			if other == k {
+				continue
+			}
+			if g.HasPath(other, k) {
+				minimal = false
+				break
+			}
+		}
+		if minimal {
+			out = append(out, k)
+		}
+	}
+	sortSlice(out)
+	return out
+}

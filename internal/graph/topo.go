@@ -1,0 +1,59 @@
+package graph
+
+import (
+	"cmp"
+	"container/heap"
+	"fmt"
+)
+
+// TopoOrder returns a topological order of the graph's nodes, smallest key
+// first among ready nodes, so the order is deterministic: it is the
+// canonical linearization used when replaying operations "in conflict
+// graph order". It returns an error if the graph has a cycle.
+func (g *Graph[K]) TopoOrder() ([]K, error) {
+	indeg := make(map[K]int, len(g.nodes))
+	ready := &keyHeap[K]{}
+	for k := range g.nodes {
+		indeg[k] = len(g.preds[k])
+		if indeg[k] == 0 {
+			ready.ks = append(ready.ks, k)
+		}
+	}
+	heap.Init(ready)
+	out := make([]K, 0, len(g.nodes))
+	for ready.Len() > 0 {
+		n := heap.Pop(ready).(K)
+		out = append(out, n)
+		for s := range g.succs[n] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				heap.Push(ready, s)
+			}
+		}
+	}
+	if len(out) != len(g.nodes) {
+		return nil, fmt.Errorf("graph: cycle among %d nodes", len(g.nodes)-len(out))
+	}
+	return out, nil
+}
+
+// IsAcyclic reports whether the graph has no directed cycle.
+func (g *Graph[K]) IsAcyclic() bool {
+	_, err := g.TopoOrder()
+	return err == nil
+}
+
+// keyHeap is a min-heap of node keys.
+type keyHeap[K cmp.Ordered] struct{ ks []K }
+
+func (h *keyHeap[K]) Len() int           { return len(h.ks) }
+func (h *keyHeap[K]) Less(i, j int) bool { return h.ks[i] < h.ks[j] }
+func (h *keyHeap[K]) Swap(i, j int)      { h.ks[i], h.ks[j] = h.ks[j], h.ks[i] }
+func (h *keyHeap[K]) Push(x interface{}) { h.ks = append(h.ks, x.(K)) }
+func (h *keyHeap[K]) Pop() interface{} {
+	old := h.ks
+	n := len(old)
+	x := old[n-1]
+	h.ks = old[:n-1]
+	return x
+}

@@ -1,0 +1,56 @@
+package install_test
+
+import (
+	"fmt"
+
+	"redotheory/internal/conflict"
+	"redotheory/internal/graph"
+	"redotheory/internal/install"
+	"redotheory/internal/model"
+	"redotheory/internal/stategraph"
+)
+
+// Example walks the paper's Scenario 2: B: y←2 then A: x←y+1 from
+// x=y=0. Installing A's result before B's violates only a write-read
+// edge, which the installation graph drops, so the crash state {x=3} is
+// explainable and replaying B recovers the final state.
+func Example() {
+	b := model.AssignConst(1, "y", model.IntVal(2))
+	a := model.CopyPlus(2, "x", "y", 1)
+	cg := conflict.FromOps(b, a)
+	ig := install.FromConflict(cg)
+	sg, err := stategraph.FromConflict(cg, model.NewState())
+	if err != nil {
+		panic(err)
+	}
+
+	crashState := model.StateOf(map[model.Var]model.Value{"x": model.IntVal(3)})
+	installed := graph.NewSet[model.OpID](a.ID())
+
+	fmt.Println("installation prefix:", ig.IsPrefix(installed))
+	fmt.Println("explains crash state:", ig.Explains(sg, installed, crashState) == nil)
+	recovered, err := ig.Replay(sg, installed, crashState)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("recovered:", recovered)
+	// Output:
+	// installation prefix: true
+	// explains crash state: true
+	// recovered: {x=3 y=2}
+}
+
+// ExampleExposed shows Scenario 3's exposure analysis: after installing
+// C: ⟨x++;y++⟩, the variable x is unexposed because the uninstalled
+// D: x←y+1 overwrites it without reading it.
+func ExampleExposed() {
+	c := model.IncrBoth(1, "x", 1, "y", 1)
+	d := model.CopyPlus(2, "x", "y", 1)
+	cg := conflict.FromOps(c, d)
+	installed := graph.NewSet[model.OpID](c.ID())
+	fmt.Println("x exposed:", install.Exposed(cg, installed, "x"))
+	fmt.Println("y exposed:", install.Exposed(cg, installed, "y"))
+	// Output:
+	// x exposed: false
+	// y exposed: true
+}

@@ -1,0 +1,103 @@
+package install
+
+import (
+	"sort"
+
+	"redotheory/internal/conflict"
+	"redotheory/internal/graph"
+	"redotheory/internal/model"
+)
+
+// Exposed reports whether x is exposed by the operation set I
+// (Section 2.3): either no operation outside I accesses x, or some
+// operation outside I accesses x and a minimal such operation reads x. A
+// variable is unexposed exactly when the minimal outside access is a
+// blind write — its current value will be overwritten before anything
+// reads it, so recovery never observes it.
+//
+// The computation walks x's writer chain in version order: writers of x
+// are totally ordered by the conflict edges on x, every reader of version
+// i precedes the writer of version i+1 (read-write edge) and follows the
+// writer of version i (write-read edge), so the earliest chain level
+// containing an operation outside I contains the minimal outside
+// accessors. If that level is a set of readers, x is exposed; if it is a
+// writer, x is exposed iff the writer also reads x. Cost is O(accesses of
+// x) with no reachability queries; TestExposedAgreesWithReachability
+// cross-checks it against a brute-force implementation.
+func Exposed(cg *conflict.Graph, installed graph.Set[model.OpID], x model.Var) bool {
+	writers := cg.Writers(x)
+	for v := 0; ; v++ {
+		for _, r := range cg.ReadersOfVersion(x, v) {
+			if !installed.Has(r) {
+				return true // a minimal outside accessor reads x
+			}
+		}
+		if v >= len(writers) {
+			return true // no operation outside I accesses x
+		}
+		w := writers[v]
+		if !installed.Has(w) {
+			// The writer of version v+1 is the minimal outside accessor.
+			// It is exposed only if the write also reads x (e.g. x←x+1).
+			return cg.Op(w).ReadsVar(x)
+		}
+	}
+}
+
+// ExposedVars returns, in sorted order, every variable of the conflict
+// graph exposed by the installed set.
+func ExposedVars(cg *conflict.Graph, installed graph.Set[model.OpID]) []model.Var {
+	var out []model.Var
+	for _, x := range cg.Vars() {
+		if Exposed(cg, installed, x) {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// UnexposedVars returns, in sorted order, every variable of the conflict
+// graph left unexposed by the installed set.
+func UnexposedVars(cg *conflict.Graph, installed graph.Set[model.OpID]) []model.Var {
+	var out []model.Var
+	for _, x := range cg.Vars() {
+		if !Exposed(cg, installed, x) {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// ExposedByReachability is the reference implementation of Exposed taken
+// directly from the Section 2.3 definition: collect the operations
+// outside I accessing x, find the minimal ones under the full conflict
+// path order, and check whether one of them reads x. It costs a
+// reachability query per accessor pair and exists to cross-check Exposed.
+func ExposedByReachability(cg *conflict.Graph, installed graph.Set[model.OpID], x model.Var) bool {
+	outside := graph.NewSet[model.OpID]()
+	consider := func(id model.OpID) {
+		if !installed.Has(id) {
+			outside.Add(id)
+		}
+	}
+	writers := cg.Writers(x)
+	for v := 0; v <= len(writers); v++ {
+		for _, r := range cg.ReadersOfVersion(x, v) {
+			consider(r)
+		}
+		if v < len(writers) {
+			consider(writers[v])
+		}
+	}
+	if len(outside) == 0 {
+		return true
+	}
+	minimal := cg.DAG().MinimalByReachability(outside)
+	sort.Slice(minimal, func(i, j int) bool { return minimal[i] < minimal[j] })
+	for _, id := range minimal {
+		if cg.Op(id).ReadsVar(x) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,100 @@
+// Package install implements the heart of the paper: the installation
+// graph (Section 3.1), exposed variables (Section 2.3), explainable states
+// (Section 3.2), operation applicability (Section 3.3), and the replay
+// argument behind the Potential Recoverability Theorem (Theorem 3).
+//
+// The installation graph is the conflict graph with the edges resulting
+// solely from write-read conflicts removed. Its prefixes are the sets of
+// operations that may appear installed in a recoverable state; they
+// strictly include the conflict graph's prefixes (Figure 5). A prefix
+// explains a state when every variable it leaves exposed has the value the
+// prefix determines; explainable states are exactly the potentially
+// recoverable ones.
+package install
+
+import (
+	"redotheory/internal/conflict"
+	"redotheory/internal/graph"
+	"redotheory/internal/model"
+)
+
+// Graph is an installation graph derived from a conflict graph.
+type Graph struct {
+	cg  *conflict.Graph
+	dag *graph.Graph[model.OpID]
+	// synced counts how many of the conflict graph's operations (in
+	// invocation order) have been incorporated; see Sync.
+	synced int
+}
+
+// FromConflict derives the installation graph: every conflict edge whose
+// kind set is exactly {write-read} is dropped; all other edges are kept.
+func FromConflict(cg *conflict.Graph) *Graph {
+	g := NewIncremental(cg)
+	g.Sync()
+	return g
+}
+
+// NewIncremental returns an installation graph bound to a growing
+// conflict graph. Call Sync after appending operations to the conflict
+// graph; each sync only processes the new operations, which works
+// because appending to a conflict graph adds edges exclusively into the
+// newest operation. The online auditor uses this to keep the
+// installation graph current in O(new edges) per operation.
+func NewIncremental(cg *conflict.Graph) *Graph {
+	return &Graph{cg: cg, dag: graph.New[model.OpID]()}
+}
+
+// Sync catches the installation graph up with its conflict graph and
+// returns how many operations were added.
+func (g *Graph) Sync() int {
+	order := g.cg.InvocationOrder()
+	added := 0
+	for _, id := range order[g.synced:] {
+		g.dag.AddNode(id)
+		for _, p := range g.cg.DAG().Preds(id) {
+			if g.cg.Kind(p, id) != conflict.WR {
+				g.dag.AddEdge(p, id)
+			}
+		}
+		added++
+	}
+	g.synced = len(order)
+	return added
+}
+
+// Conflict returns the conflict graph the installation graph derives from.
+func (g *Graph) Conflict() *conflict.Graph { return g.cg }
+
+// DAG returns the installation DAG. The graph is shared; callers must not
+// modify it.
+func (g *Graph) DAG() *graph.Graph[model.OpID] { return g.dag }
+
+// IsPrefix reports whether the operation set is a prefix of the
+// installation graph. Operations in the set must label the graph.
+func (g *Graph) IsPrefix(installed graph.Set[model.OpID]) bool {
+	return g.dag.IsPrefix(installed)
+}
+
+// PrefixViolation returns an installation edge crossing into the set from
+// outside, witnessing that the set is not a prefix.
+func (g *Graph) PrefixViolation(installed graph.Set[model.OpID]) ([2]model.OpID, bool) {
+	return g.dag.PrefixViolation(installed)
+}
+
+// MinimalUninstalled returns the minimal uninstalled operations after the
+// prefix: minimal elements of the conflict graph (not the installation
+// graph — replay happens in conflict graph order, Section 3.3) among the
+// operations outside the installed set.
+//
+// The installed set must be a prefix of the installation graph, but need
+// not be one of the conflict graph; a conflict WR edge may cross from an
+// uninstalled operation into the set. Such an edge never affects
+// minimality of complement elements, because it points into the set, so
+// the direct-predecessor test against the conflict DAG is still exact:
+// any conflict path between two uninstalled operations would have to
+// leave the installed set again, and the only edges out of an
+// installation prefix in the conflict DAG start at set members.
+func (g *Graph) MinimalUninstalled(installed graph.Set[model.OpID]) []model.OpID {
+	return g.cg.DAG().MinimalOutside(installed)
+}

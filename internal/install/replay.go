@@ -1,0 +1,138 @@
+package install
+
+import (
+	"fmt"
+
+	"redotheory/internal/graph"
+	"redotheory/internal/model"
+)
+
+// Applicable reports whether the operation is applicable to the state
+// (Section 3.3): the values of the variables in its read set are the same
+// in the state as in the state determined by the operation's predecessors
+// in the conflict graph — i.e. the operation would read exactly what it
+// read during normal execution, and hence write exactly what it wrote.
+func (g *Graph) Applicable(vs ValueSource, op *model.Op, state *model.State) bool {
+	_, err := g.applicabilityViolation(vs, op, state)
+	return err == nil
+}
+
+// applicabilityViolation returns the first read-set variable whose value
+// differs from the value the operation originally read.
+func (g *Graph) applicabilityViolation(vs ValueSource, op *model.Op, state *model.State) (model.Var, error) {
+	for _, x := range op.Reads() {
+		version, ok := g.cg.VersionRead(op.ID(), x)
+		if !ok {
+			return x, fmt.Errorf("install: operation %s not recorded as a reader of %q", op, x)
+		}
+		var want model.Value
+		if version == 0 {
+			want = vs.Initial().Get(x)
+		} else {
+			w := g.cg.Writers(x)[version-1]
+			v, ok := vs.WriteValue(w, x)
+			if !ok {
+				return x, fmt.Errorf("install: state graph lacks op %d's value for %q", w, x)
+			}
+			want = v
+		}
+		if got := state.Get(x); got != want {
+			return x, fmt.Errorf("install: operation %s would read %s=%q, but it read %q during normal execution", op, x, got, want)
+		}
+	}
+	return "", nil
+}
+
+// Replay implements the constructive argument of the Potential
+// Recoverability Theorem (Theorem 3): starting from a state explained by
+// the installed prefix, it repeatedly applies a minimal uninstalled
+// operation until none remain, and returns the resulting state, which
+// equals the final state determined by the conflict graph.
+//
+// Minimal uninstalled operations are chosen by the direct-edge test: an
+// uninstalled operation all of whose direct conflict predecessors are
+// installed. Every such operation is applicable — its read-set versions
+// were written by installed operations and nothing installed after them —
+// and extending the prefix with it preserves explanation, which is the
+// induction step of the theorem's proof. Replay verifies applicability
+// before every application and fails loudly if it does not hold, so an
+// unexplained starting state is detected rather than silently corrupted.
+//
+// The input state is not modified.
+func (g *Graph) Replay(vs ValueSource, installed graph.Set[model.OpID], state *model.State) (*model.State, error) {
+	if e, bad := g.PrefixViolation(installed); bad {
+		return nil, fmt.Errorf("install: replay from a non-prefix installed set (edge %d→%d crosses it)", e[0], e[1])
+	}
+	cur := state.Clone()
+	// Frontier replay: track, per uninstalled operation, how many direct
+	// conflict predecessors are still uninstalled; operations at zero are
+	// minimal and applicable. Applying one decrements its uninstalled
+	// successors. This is O(ops + edges) instead of rescanning the graph
+	// per round.
+	cdag := g.cg.DAG()
+	indeg := make(map[model.OpID]int, g.cg.NumOps())
+	var frontier []model.OpID
+	remaining := 0
+	for _, id := range cdag.Nodes() {
+		if installed.Has(id) {
+			continue
+		}
+		remaining++
+		n := 0
+		for _, p := range cdag.Preds(id) {
+			if !installed.Has(p) {
+				n++
+			}
+		}
+		indeg[id] = n
+		if n == 0 {
+			frontier = append(frontier, id)
+		}
+	}
+	for len(frontier) > 0 {
+		id := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		op := g.cg.Op(id)
+		if _, err := g.applicabilityViolation(vs, op, cur); err != nil {
+			return nil, fmt.Errorf("install: replaying %s: %w", op, err)
+		}
+		if _, err := cur.Apply(op); err != nil {
+			return nil, fmt.Errorf("install: replaying %s: %w", op, err)
+		}
+		remaining--
+		for _, s := range cdag.Succs(id) {
+			if installed.Has(s) {
+				continue
+			}
+			indeg[s]--
+			if indeg[s] == 0 {
+				frontier = append(frontier, s)
+			}
+		}
+	}
+	if remaining > 0 {
+		return nil, fmt.Errorf("install: %d operations remain but none is minimal; conflict graph is corrupt", remaining)
+	}
+	return cur, nil
+}
+
+// PotentiallyRecoverable reports whether the state can be recovered by
+// replaying some subset of the conflict graph's operations in conflict
+// graph order (Section 3). By Theorem 3 this holds whenever some prefix
+// of the installation graph explains the state; this function checks the
+// given candidate prefix and then verifies the replay reaches the final
+// state.
+func (g *Graph) PotentiallyRecoverable(vs ValueSource, installed graph.Set[model.OpID], state *model.State) error {
+	if err := g.Explains(vs, installed, state); err != nil {
+		return err
+	}
+	got, err := g.Replay(vs, installed, state)
+	if err != nil {
+		return err
+	}
+	want := vs.FinalState()
+	if !got.Equal(want) {
+		return fmt.Errorf("install: replay ended in %v, want final state %v (diff: %v)", got, want, got.Diff(want))
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package install
+
+import (
+	"redotheory/internal/conflict"
+	"redotheory/internal/graph"
+	"redotheory/internal/model"
+)
+
+// This file implements the paper's prior installation-graph definition
+// and two deliberately broken ablations, all sharing Graph's machinery
+// (prefix checks, determined states, explanation, replay), so the
+// equivalence claim of Section 1.3 and the necessity of each edge class
+// can be tested executably.
+
+// LegacyFromConflict derives the installation graph of the authors'
+// earlier formulation (Lomet & Tuttle, VLDB 1995), which removed
+// write-write edges in addition to write-read edges via "an elaborate
+// construction" — elaborate because naive dead-version rules are
+// unsound. The construction implemented here removes a conflict edge
+// u→v when:
+//
+//   - it carries no read-write conflict,
+//   - v is a pure blind write (its read set is empty) with no conflict
+//     successors of its own, and
+//   - for every variable y that v writes, no operation other than v
+//     reads any version of y up to and including the version v writes.
+//
+// Installing v ahead of u is then harmless: v's writes are constants
+// independent of any predecessor, and the values they displace are never
+// observed. Each weakening of this rule is demonstrably unsound, which
+// is presumably why the 1995 paper's construction was "elaborate":
+// requiring only u's own version to be dead admits prefixes where an
+// uninstalled earlier writer is replayed and clobbers a value a later
+// reader needs; allowing readers of v's own version admits prefixes
+// where replay rewrites the variable underneath such a reader; allowing
+// v to have reads admits prefixes whose determined states mix values
+// "from the future" with stale inputs, which no prefix of the new graph
+// explains; and allowing v to have conflict successors lets a dependent
+// of v ride into such a mixed prefix transitively. The rule here is a
+// conservative rendering validated by the equivalence property test. Section 1.3 claims the old and new definitions are
+// equivalent — a state is explainable by a prefix of one iff it is
+// explainable by a prefix of the other — and
+// TestLegacyEquivalenceProperty verifies exactly that over the states
+// the prefixes determine.
+func LegacyFromConflict(cg *conflict.Graph) *Graph {
+	dag := graph.New[model.OpID]()
+	cdag := cg.DAG()
+	for _, u := range cdag.Nodes() {
+		dag.AddNode(u)
+		for _, v := range cdag.Succs(u) {
+			if keepLegacyEdge(cg, u, v) {
+				dag.AddEdge(u, v)
+			}
+		}
+	}
+	return &Graph{cg: cg, dag: dag}
+}
+
+func keepLegacyEdge(cg *conflict.Graph, u, v model.OpID) bool {
+	k := cg.Kind(u, v)
+	if k&conflict.RW != 0 {
+		return true // read-write conflicts always constrain installation
+	}
+	if k&conflict.WW == 0 {
+		return false // pure write-read: dropped, as in the new definition
+	}
+	// Write-write: droppable only for a maximal pure blind writer v none
+	// of whose displaced or written versions are observed.
+	opV := cg.Op(v)
+	if len(opV.Reads()) != 0 || cg.DAG().OutDegree(v) != 0 {
+		return true
+	}
+	for _, y := range opV.Writes() {
+		writers := cg.Writers(y)
+		vVersion := -1
+		for i, w := range writers {
+			if w == v {
+				vVersion = i + 1 // writers[i] produces version i+1
+				break
+			}
+		}
+		if vVersion == -1 {
+			continue
+		}
+		for j := 0; j <= vVersion; j++ {
+			for _, r := range cg.ReadersOfVersion(y, j) {
+				if r != v {
+					return true // an observed version: the edge matters
+				}
+			}
+		}
+	}
+	return false
+}
+
+// AblationKeepWR returns the conflict graph itself used as an
+// installation graph: the "never drop write-read edges" ablation. It is
+// sound but needlessly strict — states like Scenario 2's, explainable
+// under the real definition, stop being explainable.
+func AblationKeepWR(cg *conflict.Graph) *Graph {
+	return &Graph{cg: cg, dag: cg.DAG().Clone()}
+}
+
+// AblationDropRW returns the unsound ablation that drops read-write
+// edges along with write-read ones (keeping an edge only if it carries a
+// write-write conflict). Under it Scenario 1's state passes the prefix
+// test, and replay then corrupts the state — which is precisely how the
+// tests demonstrate that read-write edges are load-bearing.
+func AblationDropRW(cg *conflict.Graph) *Graph {
+	dag := graph.New[model.OpID]()
+	cdag := cg.DAG()
+	for _, u := range cdag.Nodes() {
+		dag.AddNode(u)
+		for _, v := range cdag.Succs(u) {
+			if cg.Kind(u, v)&conflict.WW != 0 {
+				dag.AddEdge(u, v)
+			}
+		}
+	}
+	return &Graph{cg: cg, dag: dag}
+}

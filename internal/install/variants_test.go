@@ -1,0 +1,188 @@
+package install
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"redotheory/internal/conflict"
+	"redotheory/internal/graph"
+	"redotheory/internal/model"
+	"redotheory/internal/stategraph"
+)
+
+func TestLegacyDropsDeadWriteWriteEdges(t *testing.T) {
+	// u blind-writes x, v blind-writes x, nothing reads u's version: the
+	// legacy graph drops the WW edge; the new graph keeps it.
+	u := model.AssignConst(1, "x", model.IntVal(1))
+	v := model.AssignConst(2, "x", model.IntVal(2))
+	cg := conflict.FromOps(u, v)
+	if FromConflict(cg).DAG().NumEdges() != 1 {
+		t.Error("new definition must keep the WW edge")
+	}
+	if LegacyFromConflict(cg).DAG().NumEdges() != 0 {
+		t.Error("legacy definition must drop the dead WW edge")
+	}
+}
+
+func TestLegacyKeepsReadWWEdges(t *testing.T) {
+	// u writes x, r reads it, v overwrites: the overwritten version is
+	// read, so even the legacy graph keeps u→v.
+	u := model.AssignConst(1, "x", model.IntVal(1))
+	r := model.CopyPlus(2, "z", "x", 0)
+	v := model.AssignConst(3, "x", model.IntVal(2))
+	cg := conflict.FromOps(u, r, v)
+	lg := LegacyFromConflict(cg)
+	if !lg.DAG().HasEdge(1, 3) {
+		t.Error("legacy graph dropped a WW edge whose overwritten version is read")
+	}
+	// The reader's own RW edge to the overwriter stays too.
+	if !lg.DAG().HasEdge(2, 3) {
+		t.Error("legacy graph dropped an RW edge")
+	}
+	// And pure WR edges still go.
+	if lg.DAG().HasEdge(1, 2) {
+		t.Error("legacy graph kept a pure WR edge")
+	}
+}
+
+func TestLegacyEquivalenceProperty(t *testing.T) {
+	// Section 1.3, claim 1: a state is explainable by a prefix of the
+	// legacy installation graph iff it is explainable by a prefix of the
+	// new one. Forward: every new prefix is a legacy prefix (the legacy
+	// graph has a subset of the edges) with identical determined state
+	// and exposure. Backward: the state determined by any legacy prefix
+	// is explained by some new prefix, and is potentially recoverable.
+	//
+	// Note the comparison is over determined states: the junk-in-
+	// unexposed-variables latitude is only sound relative to the new
+	// definition, whose retained write-write edges are exactly what makes
+	// the exposure analysis trustworthy (dropping edge 3→4 can make an
+	// installed operation's write clobberable by its own replayed
+	// predecessor — see the commit history of this test).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ops := randomOps(rng, 9, 3)
+		s0 := randomState(rng, 3)
+		cg := conflict.FromOps(ops...)
+		sg, err := stategraph.FromConflict(cg, s0)
+		if err != nil {
+			return false
+		}
+		ig := FromConflict(cg)
+		lg := LegacyFromConflict(cg)
+
+		newPrefixes, err := ig.DAG().EnumeratePrefixes(1 << 14)
+		if err != nil {
+			return true // too wide; skip this seed
+		}
+		legacyPrefixes, err := lg.DAG().EnumeratePrefixes(1 << 14)
+		if err != nil {
+			return true
+		}
+		// Forward: new prefixes are legacy prefixes.
+		for _, p := range newPrefixes {
+			if !lg.IsPrefix(p) {
+				return false
+			}
+		}
+		// Backward: each legacy-explained state is new-explainable.
+		for _, pL := range legacyPrefixes {
+			state, err := lg.DeterminedState(sg, pL)
+			if err != nil {
+				return false
+			}
+			explained := false
+			for _, pN := range newPrefixes {
+				if ig.Explains(sg, pN, state) == nil {
+					if ig.PotentiallyRecoverable(sg, pN, state) != nil {
+						return false // explained but not recoverable: Theorem 3 broken
+					}
+					explained = true
+					break
+				}
+			}
+			if !explained {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAblationKeepWRLosesScenario2(t *testing.T) {
+	// With WR edges kept, {A} from Scenario 2 stops being a prefix: the
+	// ablation is sound but forbids states the theory proves recoverable.
+	b := model.AssignConst(1, "y", model.IntVal(2))
+	a := model.CopyPlus(2, "x", "y", 1)
+	cg := conflict.FromOps(b, a)
+	strict := AblationKeepWR(cg)
+	if strict.IsPrefix(graph.NewSet[model.OpID](2)) {
+		t.Error("keep-WR ablation accepted {A}; it should be strictly smaller")
+	}
+	if !FromConflict(cg).IsPrefix(graph.NewSet[model.OpID](2)) {
+		t.Error("real definition must accept {A}")
+	}
+}
+
+func TestAblationKeepWRStrictlyFewerPrefixes(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ops := randomOps(rng, 8, 3)
+		cg := conflict.FromOps(ops...)
+		np, err := FromConflict(cg).DAG().EnumeratePrefixes(1 << 14)
+		if err != nil {
+			return true
+		}
+		sp, err := AblationKeepWR(cg).DAG().EnumeratePrefixes(1 << 14)
+		if err != nil {
+			return true
+		}
+		return len(sp) <= len(np)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAblationDropRWBreaksScenario1(t *testing.T) {
+	// Dropping RW edges accepts Scenario 1's unrecoverable state as a
+	// "prefix"; recovery then corrupts the state — Replay notices the
+	// inapplicable operation or the final state is wrong.
+	a := model.CopyPlus(1, "x", "y", 1)
+	b := model.AssignConst(2, "y", model.IntVal(2))
+	cg := conflict.FromOps(a, b)
+	sg, err := stategraph.FromConflict(cg, model.NewState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	broken := AblationDropRW(cg)
+	bOnly := graph.NewSet[model.OpID](2)
+	if !broken.IsPrefix(bOnly) {
+		t.Fatal("drop-RW ablation should (wrongly) accept {B}")
+	}
+	state := model.StateOf(map[model.Var]model.Value{"y": model.IntVal(2)})
+	// The state is NOT recoverable; the unsound graph must fail at replay
+	// or produce the wrong final state, never succeed.
+	if err := broken.PotentiallyRecoverable(sg, bOnly, state); err == nil {
+		t.Error("unsound ablation recovered an unrecoverable state without detection")
+	}
+}
+
+func TestVariantsAgreeOnFigure5(t *testing.T) {
+	cg, _, _ := figure5()
+	// Legacy and new agree here: O→Q carries RW (kept by both); no dead
+	// WW edges exist.
+	lg := LegacyFromConflict(cg)
+	ig := FromConflict(cg)
+	for _, u := range cg.OpIDs() {
+		for _, v := range cg.OpIDs() {
+			if lg.DAG().HasEdge(u, v) != ig.DAG().HasEdge(u, v) {
+				t.Errorf("edge %d→%d differs between legacy and new", u, v)
+			}
+		}
+	}
+}

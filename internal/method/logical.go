@@ -1,0 +1,133 @@
+package method
+
+import (
+	"redotheory/internal/core"
+	"redotheory/internal/graph"
+	"redotheory/internal/model"
+	"redotheory/internal/storage"
+)
+
+// Logical implements Section 6.1, the System R pattern: logged operations
+// are arbitrary state-to-state mappings (they may read and write any
+// variables), the stable database does not change between checkpoints,
+// and a checkpoint quiesces the system, writes the pending updates to a
+// staging area, and then "swings a pointer" — an atomic transition that
+// both installs every operation logged since the previous checkpoint
+// (collapsing the two-node write graph into one node) and moves those
+// operations out of redo_set by writing the checkpoint record. Recovery
+// starts from the stable state of the last checkpoint and replays every
+// later logged operation.
+type Logical struct {
+	*base
+	shadow *storage.ShadowTable
+}
+
+// NewLogical returns a logical-recovery DB over the initial state.
+func NewLogical(initial *model.State) *Logical {
+	b := newBase(initial)
+	return &Logical{base: b, shadow: storage.NewShadowTable(b.store)}
+}
+
+// Name returns "logical".
+func (d *Logical) Name() string { return "logical" }
+
+// Exec runs a logical operation: any read set, any write set. Updates
+// stay in the cache — the stable state is immutable between checkpoints,
+// so there is no steal and no per-page WAL coupling.
+func (d *Logical) Exec(op *model.Op) error {
+	ws, err := d.computeThrough(op)
+	if err != nil {
+		return err
+	}
+	rec := d.log.Append(op, recordSize(op, ws))
+	for _, x := range op.Writes() {
+		d.cache.ApplyWrite(x, ws[x], rec.LSN)
+	}
+	d.opsExecuted++
+	return nil
+}
+
+// FlushOne reports false: logical recovery never steals. Pages reach the
+// stable state only through the checkpoint's atomic pointer swing.
+func (d *Logical) FlushOne() bool { return false }
+
+// Checkpoint quiesces and checkpoints in the System R pattern: force the
+// log, write every dirty page to the staging area (the stable state is
+// untouched — StageCheckpoint), then swing the pointer and append the
+// checkpoint record (CompleteCheckpoint). Shadow paging is what makes the
+// multi-page installation one atomic pointer update; a crash between the
+// two phases discards the staging area and recovery restarts from the
+// previous checkpoint.
+func (d *Logical) Checkpoint() error {
+	d.StageCheckpoint()
+	d.CompleteCheckpoint()
+	return nil
+}
+
+// StageCheckpoint performs the first checkpoint phase: quiesce, force the
+// log, and write the pending updates to the staging area. The current
+// stable state is not modified.
+func (d *Logical) StageCheckpoint() {
+	d.log.Flush()
+	for _, id := range d.cache.DirtyPages() {
+		d.shadow.StagePage(id, storage.Page{Data: d.cache.Read(id), LSN: d.cache.PageLSN(id)})
+	}
+}
+
+// CompleteCheckpoint performs the second phase: the atomic pointer swing
+// plus the checkpoint record, which together install every operation
+// logged so far and remove it from redo_set in one step — the
+// invariant-preserving atomicity of Section 6.1.
+func (d *Logical) CompleteCheckpoint() {
+	d.shadow.Swing()
+	// The staged copies are now current; drop the cache so reads fall
+	// through to them.
+	d.cache.Crash()
+	d.log.AppendCheckpoint(d.log.NextLSN())
+	d.checkpoints++
+}
+
+// Crash discards the cache, the volatile log tail, and any staging-area
+// pages whose pointer swing never happened.
+func (d *Logical) Crash() {
+	d.shadow.Discard()
+	d.base.Crash()
+}
+
+// Checkpointed returns every stable-logged operation below the stable
+// checkpoint: exactly the operations the pointer swing installed.
+func (d *Logical) Checkpointed() graph.Set[model.OpID] {
+	ck, ok := d.log.StableCheckpoint()
+	if !ok {
+		return graph.NewSet[model.OpID]()
+	}
+	return checkpointedUpTo(d.StableLog(), ck.Payload.(core.LSN))
+}
+
+// RedoTest replays every operation after the checkpoint: the stable state
+// is exactly the state the checkpoint determined, so each replayed
+// operation reads precisely what it read during normal execution.
+func (d *Logical) RedoTest() core.RedoTest {
+	return func(*model.Op, *model.State, *core.Log, core.Analysis) bool { return true }
+}
+
+// Analyze returns a single up-front analysis locating the last stable
+// checkpoint (the classic "find the checkpoint record" scan), threaded
+// through unchanged on later iterations.
+func (d *Logical) Analyze() core.AnalyzeFunc {
+	ck, ok := d.log.StableCheckpoint()
+	return func(_ *model.State, _ *core.Log, _ graph.Set[model.OpID], prev core.Analysis) core.Analysis {
+		if prev != nil {
+			return prev
+		}
+		if !ok {
+			return core.LSN(1)
+		}
+		return ck.AtLSN
+	}
+}
+
+// Stats reports the method's counters.
+func (d *Logical) Stats() Stats { return d.stats() }
+
+var _ DB = (*Logical)(nil)

@@ -1,0 +1,294 @@
+// Package method implements the four real recovery methods of Section 6
+// on top of the simulated substrates: logical (System R style, §6.1),
+// physical (after-image logging, §6.2), physiological (page-LSN redo
+// test, §6.3), and generalized LSN recovery (multi-page operations with
+// careful write ordering, §6.4).
+//
+// Every method exposes the same DB interface so the simulator, the
+// crash-matrix experiments, and the recovery-invariant checker treat them
+// uniformly: execute an operation, take a checkpoint, let the background
+// writer make progress, force the log, crash, and hand recovery exactly
+// the four ingredients the paper's abstract procedure needs — a stable
+// state, a stable log, a checkpoint set, and a redo test with its
+// analysis function.
+package method
+
+import (
+	"fmt"
+
+	"redotheory/internal/cache"
+	"redotheory/internal/core"
+	"redotheory/internal/graph"
+	"redotheory/internal/model"
+	"redotheory/internal/storage"
+	"redotheory/internal/wal"
+)
+
+// DB is a running database instance under one recovery method.
+type DB interface {
+	// Name identifies the method ("logical", "physical", …).
+	Name() string
+	// Exec runs one system operation through the method: it reads the
+	// volatile state, computes, logs, and applies to the cache. The
+	// logged operations may differ from the system operation (physical
+	// logging turns one system operation into per-page blind writes).
+	Exec(op *model.Op) error
+	// Read returns the current volatile value of a variable.
+	Read(x model.Var) model.Value
+	// Checkpoint performs the method's checkpoint.
+	Checkpoint() error
+	// FlushOne lets the background writer install one eligible page; it
+	// reports whether it made progress. Methods without stealing (logical
+	// recovery) always report false.
+	FlushOne() bool
+	// FlushLog forces the log to stable storage.
+	FlushLog()
+	// Crash discards all volatile state (cache and unflushed log tail).
+	Crash()
+
+	// The recovery surface, valid after Crash:
+
+	// StableState returns the surviving page contents.
+	StableState() *model.State
+	// StableLog returns the surviving log prefix.
+	StableLog() *core.Log
+	// Checkpointed returns the operations the checkpoint lets recovery
+	// ignore (Section 4.2): they are installed by construction.
+	Checkpointed() graph.Set[model.OpID]
+	// RedoTest returns a fresh redo test bound to the current stable
+	// state; stateful tests (page-LSN tracking) start from the stable
+	// page LSN table.
+	RedoTest() core.RedoTest
+	// Analyze returns the method's analysis function (may be nil).
+	Analyze() core.AnalyzeFunc
+
+	// Stats exposes counters for the experiments.
+	Stats() Stats
+
+	// DisableWAL turns off the write-ahead-log gate (fault injection):
+	// pages may then be installed before their log records are stable.
+	// The recovery-invariant checker catches the resulting states.
+	DisableWAL()
+
+	// SetInstallHook registers a callback fired after every page install
+	// with the page and its LSN — the online auditor's feed. Methods
+	// whose installs bypass the cache (logical recovery's pointer swing)
+	// do not fire it.
+	SetInstallHook(func(model.Var, core.LSN))
+
+	// RecoveryBase returns the state the surviving log applies against:
+	// the initial state plus every log-truncated operation.
+	RecoveryBase() *model.State
+}
+
+// Stats aggregates the counters the experiments report.
+type Stats struct {
+	OpsExecuted int
+	LogRecords  int
+	LogBytes    int
+	PageFlushes int
+	LogForces   int
+	Checkpoints int
+	StablePages int
+}
+
+// Recover runs the paper's abstract recovery procedure (Figure 6) over a
+// crashed DB's survivors and returns the rebuilt state together with the
+// procedure's Result. The DB itself is not modified; recovery runs on a
+// clone of the stable state, exactly as the Recovery Invariant's
+// hypothetical does.
+func Recover(db DB) (*core.Result, error) {
+	return core.Recover(db.StableState(), db.StableLog(), db.Checkpointed(), db.RedoTest(), db.Analyze())
+}
+
+// base carries the substrate wiring shared by all methods.
+type base struct {
+	store       *storage.Store
+	log         *wal.Manager
+	cache       *cache.Manager
+	opsExecuted int
+	checkpoints int
+	// recoveryBase is the state recovery starts reasoning from: the
+	// initial state plus every log-truncated operation. Log truncation
+	// (TruncateCheckpointed) folds dropped records into it.
+	recoveryBase *model.State
+}
+
+func newBase(initial *model.State) *base {
+	st := storage.FromState(initial)
+	lg := wal.NewManager()
+	return &base{store: st, log: lg, cache: cache.NewManager(st, lg), recoveryBase: initial.Clone()}
+}
+
+// newBaseMV wires a multi-version cache (see cache.NewMVManager).
+func newBaseMV(initial *model.State) *base {
+	st := storage.FromState(initial)
+	lg := wal.NewManager()
+	return &base{store: st, log: lg, cache: cache.NewMVManager(st, lg), recoveryBase: initial.Clone()}
+}
+
+// RecoveryBase returns (a clone of) the state the surviving log's
+// operations apply against: the original initial state plus every
+// truncated operation.
+func (b *base) RecoveryBase() *model.State { return b.recoveryBase.Clone() }
+
+// TruncateCheckpointed drops the stable log records the newest stable
+// checkpoint covers, folding their effects into the recovery base state
+// first, and returns how many records were dropped. This is the
+// checkpoint's log-bounding purpose: "the recovery procedure need only
+// examine the part of the log following this checkpointed log prefix"
+// (Section 4), so the prefix itself can go.
+func (b *base) TruncateCheckpointed() (int, error) {
+	ck, ok := b.log.StableCheckpoint()
+	if !ok {
+		return 0, nil
+	}
+	var bound core.LSN
+	switch payload := ck.Payload.(type) {
+	case core.LSN:
+		bound = payload
+	case dptCheckpoint:
+		bound = payload.bound
+	default:
+		return 0, fmt.Errorf("method: unknown checkpoint payload %T", ck.Payload)
+	}
+	for _, r := range b.log.StableLog().Records() {
+		if r.LSN >= bound {
+			break
+		}
+		if _, err := b.recoveryBase.Apply(r.Op); err != nil {
+			return 0, fmt.Errorf("method: rebasing truncated op %s: %w", r.Op, err)
+		}
+	}
+	return b.log.TruncateBefore(bound)
+}
+
+// Truncator is satisfied by methods that support log truncation (all of
+// them, via base); the simulator type-asserts for it.
+type Truncator interface {
+	TruncateCheckpointed() (int, error)
+}
+
+// flushFirstEligibleBest is flushFirstEligible with version-at-a-time
+// installation: it may install an older version of a page whose newest
+// version is blocked.
+func (b *base) flushFirstEligibleBest() bool {
+	for _, id := range b.cache.DirtyPages() {
+		if b.cache.CanFlushBest(id) {
+			if err := b.cache.FlushBest(id); err == nil {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Read returns the volatile value of a variable.
+func (b *base) Read(x model.Var) model.Value { return b.cache.Read(x) }
+
+// DisableWAL turns off the write-ahead gate on the cache (fault
+// injection).
+func (b *base) DisableWAL() { b.cache.EnforceWAL = false }
+
+// SetInstallHook registers the cache's install callback.
+func (b *base) SetInstallHook(f func(model.Var, core.LSN)) { b.cache.OnInstall = f }
+
+// FlushLog forces the log.
+func (b *base) FlushLog() { b.log.Flush() }
+
+// FlushLogTo forces the log through the given LSN, leaving later records
+// volatile — used to place crash points inside multi-operation actions.
+func (b *base) FlushLogTo(lsn core.LSN) { b.log.FlushTo(lsn) }
+
+// Log returns the full volatile log (test and experiment access).
+func (b *base) Log() *core.Log { return b.log.Log() }
+
+// Crash discards the cache and the volatile log tail.
+func (b *base) Crash() {
+	b.cache.Crash()
+	b.log.Crash()
+}
+
+// StableState projects the stable page store.
+func (b *base) StableState() *model.State { return b.store.State() }
+
+// StableLog returns the stable log prefix.
+func (b *base) StableLog() *core.Log { return b.log.StableLog() }
+
+func (b *base) stats() Stats {
+	return Stats{
+		OpsExecuted: b.opsExecuted,
+		LogRecords:  b.log.Log().Len(),
+		LogBytes:    b.log.BytesTotal(),
+		PageFlushes: b.cache.Flushes,
+		LogForces:   b.log.Forces,
+		Checkpoints: b.checkpoints,
+		StablePages: b.store.Len(),
+	}
+}
+
+// FlushPage installs one specific dirty page if its dependencies allow;
+// experiments use it to shape which pages pin the checkpoint bound.
+func (b *base) FlushPage(x model.Var) error { return b.cache.Flush(x) }
+
+// flushFirstEligible installs the first dirty page whose dependencies and
+// WAL gate allow it.
+func (b *base) flushFirstEligible() bool {
+	for _, id := range b.cache.DirtyPages() {
+		if b.cache.CanFlush(id) {
+			if err := b.cache.Flush(id); err == nil {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkpointedUpTo returns the stable-logged operations with LSN strictly
+// below the bound: the canonical "ops the checkpoint covers" set.
+func checkpointedUpTo(log *core.Log, bound core.LSN) graph.Set[model.OpID] {
+	out := graph.NewSet[model.OpID]()
+	for _, r := range log.Records() {
+		if r.LSN < bound {
+			out.Add(r.Op.ID())
+		}
+	}
+	return out
+}
+
+// recordSize models a log record's wire size: a fixed header, the
+// operation name (the "logical" payload descriptor), one page id per
+// written page, and — for operations with an empty read set — the full
+// after-image of every written value. An operation that reads nothing is
+// not a recomputable function: replay can only reproduce its writes if
+// the exact bytes travel through the log (physical logging). An
+// operation with reads is replayed by recomputation, so only its
+// descriptor is logged. This is what makes the Section 6.4 log-volume
+// comparison meaningful: a physiological B-tree split must physically
+// log the moved half (a blind init of the new page), while a generalized
+// split reads the old page and ships only a short descriptor.
+func recordSize(op *model.Op, writes model.WriteSet) int {
+	const header = 16
+	size := header + len(op.Name())
+	for _, x := range op.Writes() {
+		size += len(x)
+		if len(op.Reads()) == 0 {
+			size += len(writes[x])
+		}
+	}
+	return size
+}
+
+// computeThrough evaluates a system operation against the cache and
+// returns its write set without applying it.
+func (b *base) computeThrough(op *model.Op) (model.WriteSet, error) {
+	reads := make(model.ReadSet, len(op.Reads()))
+	for _, x := range op.Reads() {
+		reads[x] = b.cache.Read(x)
+	}
+	ws, err := op.Compute(reads)
+	if err != nil {
+		return nil, fmt.Errorf("method: computing %s: %w", op, err)
+	}
+	return ws, nil
+}

@@ -1,0 +1,174 @@
+package method
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"redotheory/internal/core"
+	"redotheory/internal/model"
+)
+
+// TestRecoverInstallingCompletes: a full restart-installing recovery
+// reaches the oracle state and persists it.
+func TestRecoverInstallingCompletes(t *testing.T) {
+	ps := pages(3)
+	s0 := initialState(ps)
+	db := NewPhysiological(s0)
+	for i := 1; i <= 8; i++ {
+		if err := db.Exec(singlePageOp(model.OpID(i), ps[(i-1)%3])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.FlushLog()
+	db.Crash()
+	n, done, err := RecoverInstalling(db, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !done || n != 8 {
+		t.Fatalf("redone=%d done=%v", n, done)
+	}
+	if !db.StableState().Equal(oracle(db, s0)) {
+		t.Error("installed recovery state diverges from oracle")
+	}
+	// A second recovery finds nothing to do: everything is installed.
+	n2, done2, err := RecoverInstalling(db, -1)
+	if err != nil || !done2 || n2 != 0 {
+		t.Errorf("second recovery redid %d ops (err=%v)", n2, err)
+	}
+}
+
+// crashingRecoveryToFixpoint repeatedly runs restart-installing recovery
+// with random early crashes until one run completes, auditing the
+// Recovery Invariant at every intermediate crash, and returns the final
+// stable state.
+func crashingRecoveryToFixpoint(t testing.TB, db Installer, initial *model.State, rng *rand.Rand) *model.State {
+	t.Helper()
+	for attempt := 0; attempt < 200; attempt++ {
+		// Crash after a few redos; the allowance grows so even methods
+		// that restart replay from the top (physical: no LSN test) reach
+		// a run that completes.
+		stop := rng.Intn(4) + attempt
+		_, done, err := RecoverInstalling(db, stop)
+		if err != nil {
+			t.Fatalf("%s: restart recovery: %v", db.Name(), err)
+		}
+		// Audit the invariant at the intermediate crash state.
+		checker, err := core.NewChecker(db.StableLog(), initial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := checker.Check(db.StableState(), db.StableLog(), db.Checkpointed(), db.RedoTest(), db.Analyze(), false)
+		if !rep.OK {
+			t.Fatalf("%s: invariant violated mid-recovery: %s", db.Name(), rep.Summary())
+		}
+		if done {
+			return db.StableState()
+		}
+	}
+	t.Fatalf("%s: recovery never completed", db.Name())
+	return nil
+}
+
+func TestCrashDuringRecoveryProperty(t *testing.T) {
+	// Crash during recovery, restart, repeat: the fixed point must be the
+	// oracle state, and the invariant must hold at every intermediate
+	// crash, for all restart-installing methods.
+	mks := map[string]func(*model.State) Installer{
+		"physiological": func(s *model.State) Installer { return NewPhysiological(s) },
+		"physical":      func(s *model.State) Installer { return NewPhysical(s) },
+		"genlsn":        func(s *model.State) Installer { return NewGenLSN(s) },
+	}
+	shapes := map[string]func(model.OpID, *rand.Rand, []model.Var) *model.Op{
+		"physiological": singlePageMk,
+		"physical":      anyShapeMk,
+		"genlsn":        readManyWriteOneMk,
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		for name, mk := range mks {
+			ps := pages(4)
+			s0 := initialState(ps)
+			db := mk(s0)
+			n := 5 + rng.Intn(15)
+			for i := 1; i <= n; i++ {
+				if err := db.Exec(shapes[name](model.OpID(i*10), rng, ps)); err != nil {
+					return false
+				}
+				switch rng.Intn(5) {
+				case 0:
+					db.FlushOne()
+				case 1:
+					db.FlushLog()
+				case 2:
+					if err := db.Checkpoint(); err != nil {
+						return false
+					}
+				}
+			}
+			db.Crash()
+			final := crashingRecoveryToFixpoint(t, db, s0, rng)
+			if !final.Equal(oracle(db, s0)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogicalRecoveryIsRepeatable(t *testing.T) {
+	// Logical recovery keeps its work volatile: running it twice from the
+	// same survivors gives the same state (a recovery crash just means
+	// starting over from the checkpointed stable state).
+	ps := pages(3)
+	s0 := initialState(ps)
+	db := NewLogical(s0)
+	for i := 1; i <= 6; i++ {
+		if err := db.Exec(anyShapeMk(model.OpID(i), rand.New(rand.NewSource(int64(i))), ps)); err != nil {
+			t.Fatal(err)
+		}
+		if i == 3 {
+			if err := db.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	db.FlushLog()
+	db.Crash()
+	r1, err := Recover(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Recover(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.State.Equal(r2.State) {
+		t.Error("logical recovery is not repeatable")
+	}
+	if !r1.State.Equal(oracle(db, s0)) {
+		t.Error("state wrong")
+	}
+	// And the stable state was never touched by recovery.
+	if !db.StableState().Equal(mustCheckpointState(t, db, s0)) {
+		t.Error("logical recovery mutated the stable state")
+	}
+}
+
+// mustCheckpointState recomputes what the stable state should be: the
+// initial state plus every checkpoint-covered operation.
+func mustCheckpointState(t *testing.T, db DB, s0 *model.State) *model.State {
+	t.Helper()
+	s := s0.Clone()
+	ck := db.Checkpointed()
+	for _, op := range db.StableLog().Ops() {
+		if ck.Has(op.ID()) {
+			s.MustApply(op)
+		}
+	}
+	return s
+}

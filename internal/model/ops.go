@@ -1,0 +1,78 @@
+package model
+
+import "fmt"
+
+// This file provides constructors for the operation shapes used throughout
+// the paper's examples and by the workload generators: blind constant
+// assignments (B: y←2), copies with offsets (A: x←y+1), increments
+// (G: x←x+1), and multi-variable updates (C: ⟨x←x+1; y←y+1⟩).
+
+// AssignConst returns the blind write x ← c, as in the paper's operation
+// B: y←2. Its read set is empty, which is what makes x unexposed when the
+// assignment is the minimal uninstalled access (Section 2.3).
+func AssignConst(id OpID, x Var, c Value) *Op {
+	return NewOp(id, fmt.Sprintf("%s<-%s", x, c), nil, []Var{x},
+		func(ReadSet) WriteSet { return WriteSet{x: c} })
+}
+
+// CopyPlus returns x ← y + delta, as in the paper's operation A: x←y+1.
+func CopyPlus(id OpID, x, y Var, delta int64) *Op {
+	return NewOp(id, fmt.Sprintf("%s<-%s+%d", x, y, delta), []Var{y}, []Var{x},
+		func(r ReadSet) WriteSet { return WriteSet{x: IntVal(AsInt(r[y]) + delta)} })
+}
+
+// Incr returns x ← x + delta, as in the paper's operation G: x←x+1.
+func Incr(id OpID, x Var, delta int64) *Op {
+	return NewOp(id, fmt.Sprintf("%s<-%s+%d", x, x, delta), []Var{x}, []Var{x},
+		func(r ReadSet) WriteSet { return WriteSet{x: IntVal(AsInt(r[x]) + delta)} })
+}
+
+// IncrBoth returns ⟨x←x+dx; y←y+dy⟩, the two-variable atomic update of the
+// paper's operation C and H.
+func IncrBoth(id OpID, x Var, dx int64, y Var, dy int64) *Op {
+	return NewOp(id, fmt.Sprintf("<%s+=%d;%s+=%d>", x, dx, y, dy), []Var{x, y}, []Var{x, y},
+		func(r ReadSet) WriteSet {
+			return WriteSet{
+				x: IntVal(AsInt(r[x]) + dx),
+				y: IntVal(AsInt(r[y]) + dy),
+			}
+		})
+}
+
+// ReadWrite returns an operation with arbitrary read and write sets whose
+// every written variable receives a deterministic digest of the values
+// read, salted with the operation id and the variable name. Workload
+// generators use it to make histories whose replay correctness is
+// sensitive to every read: any wrong read-set value during recovery
+// produces a visibly wrong write.
+func ReadWrite(id OpID, name string, reads, writes []Var) *Op {
+	return NewOp(id, name, reads, writes, func(r ReadSet) WriteSet {
+		ws := make(WriteSet, len(writes))
+		for _, w := range writes {
+			ws[w] = digest(id, w, reads, r)
+		}
+		return ws
+	})
+}
+
+// digest deterministically folds the read-set values, the op id, and the
+// target variable into a value. FNV-style fold over the canonical (sorted)
+// read order; reads is already sorted because Op normalizes it.
+func digest(id OpID, target Var, order []Var, r ReadSet) Value {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime
+		}
+		h ^= 0xff
+		h *= prime
+	}
+	mix(fmt.Sprintf("op:%d", id))
+	mix("var:" + string(target))
+	for _, v := range order {
+		mix(string(v) + "=" + string(r[v]))
+	}
+	return IntVal(int64(h % (1 << 62)))
+}

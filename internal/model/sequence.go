@@ -1,0 +1,91 @@
+package model
+
+import "fmt"
+
+// Sequence is an operation sequence O_1 O_2 … O_k (Section 2.1). Together
+// with an initial state it generates a state sequence S_0 S_1 … S_k where
+// each S_i is the result of applying O_i to S_{i-1}.
+type Sequence struct {
+	ops []*Op
+	ids map[OpID]int // OpID -> position, for uniqueness and lookup
+}
+
+// NewSequence returns an empty operation sequence.
+func NewSequence() *Sequence {
+	return &Sequence{ids: make(map[OpID]int)}
+}
+
+// SequenceOf builds a sequence from operations in invocation order.
+func SequenceOf(ops ...*Op) *Sequence {
+	s := NewSequence()
+	for _, o := range ops {
+		s.Append(o)
+	}
+	return s
+}
+
+// Append adds an operation to the end of the sequence. Operation IDs must
+// be unique within a sequence, mirroring the paper's assumption that the
+// operations labelling a graph are distinct.
+func (s *Sequence) Append(o *Op) {
+	if _, dup := s.ids[o.ID()]; dup {
+		panic(fmt.Sprintf("model: duplicate operation id %d in sequence", o.ID()))
+	}
+	s.ids[o.ID()] = len(s.ops)
+	s.ops = append(s.ops, o)
+}
+
+// Len returns the number of operations in the sequence.
+func (s *Sequence) Len() int { return len(s.ops) }
+
+// Op returns the i-th operation (0-based).
+func (s *Sequence) Op(i int) *Op { return s.ops[i] }
+
+// Ops returns the operations in invocation order. The slice is shared;
+// callers must not modify it.
+func (s *Sequence) Ops() []*Op { return s.ops }
+
+// Index returns the position of the operation with the given id, or -1.
+func (s *Sequence) Index(id OpID) int {
+	if i, ok := s.ids[id]; ok {
+		return i
+	}
+	return -1
+}
+
+// Lookup returns the operation with the given id, or nil.
+func (s *Sequence) Lookup(id OpID) *Op {
+	if i, ok := s.ids[id]; ok {
+		return s.ops[i]
+	}
+	return nil
+}
+
+// StateSequence generates the state sequence S_0 S_1 … S_k from the
+// initial state. S_0 is a clone of initial; each subsequent state is an
+// independent snapshot.
+func (s *Sequence) StateSequence(initial *State) ([]*State, error) {
+	out := make([]*State, 0, len(s.ops)+1)
+	cur := initial.Clone()
+	out = append(out, cur.Clone())
+	for _, o := range s.ops {
+		if _, err := cur.Apply(o); err != nil {
+			return nil, fmt.Errorf("model: applying %s: %w", o, err)
+		}
+		out = append(out, cur.Clone())
+	}
+	return out, nil
+}
+
+// FinalState applies the whole sequence to a clone of the initial state
+// and returns the result: the paper's "final state" determined by the
+// conflict graph (Section 2.4), which redo recovery must reconstruct.
+func (s *Sequence) FinalState(initial *State) (*State, error) {
+	cur := initial.Clone()
+	for _, o := range s.ops {
+		if _, err := cur.Apply(o); err != nil {
+			return nil, fmt.Errorf("model: applying %s: %w", o, err)
+		}
+	}
+	return cur, nil
+}

@@ -1,0 +1,240 @@
+// Package sim drives crash/recovery simulations: it runs a workload
+// through a recovery method with a randomized schedule of background
+// flushes, log forces, and checkpoints; crashes at a chosen point; audits
+// the Recovery Invariant over the survivors with the core checker; runs
+// the abstract recovery procedure; and verifies the recovered state
+// against the oracle (the stable log's operations applied in order).
+// This is the harness behind the Section 6 crash-matrix experiment (E9)
+// and the WAL fault-injection demonstration.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"redotheory/internal/core"
+	"redotheory/internal/method"
+	"redotheory/internal/model"
+)
+
+// Factory builds a fresh DB under some method from an initial state.
+type Factory func(*model.State) method.DB
+
+// Config describes one simulation run.
+type Config struct {
+	// Ops is the workload, executed in order.
+	Ops []*model.Op
+	// Initial is the initial stable state.
+	Initial *model.State
+	// CrashAfter crashes the system after that many operations have
+	// executed (0 = immediately, len(Ops) = after all).
+	CrashAfter int
+	// Seed drives the background schedule (flushes, forces, checkpoints).
+	Seed int64
+	// FlushProb, ForceProb, CheckpointProb are per-operation probabilities
+	// of the corresponding background action. Zero values get defaults
+	// (0.3, 0.2, 0.1).
+	FlushProb, ForceProb, CheckpointProb float64
+	// TruncateProb is the probability that a checkpoint is followed by a
+	// log truncation (folding the covered records into the recovery base
+	// state). Zero means never truncate.
+	TruncateProb float64
+	// DisableWAL injects the write-ahead-log fault.
+	DisableWAL bool
+	// SkipChecker skips the invariant audit (for pure throughput
+	// benchmarks).
+	SkipChecker bool
+	// OnlineAudit attaches a core.Auditor that follows the execution live
+	// (one Logged call per operation, PageInstalled on every flush) and
+	// audits the invariant both continuously and at the crash. Only valid
+	// for methods that log exactly one record per operation through the
+	// cache (the page-LSN family); the caller is responsible for the
+	// match.
+	OnlineAudit bool
+}
+
+// Result reports one simulation run.
+type Result struct {
+	Method string
+	// Recovered is true when the recovered state equals the oracle.
+	Recovered bool
+	// InvariantOK is the checker's verdict on the crash state (true when
+	// SkipChecker was set and the recovery outcome was correct).
+	InvariantOK bool
+	// Violations lists the checker's findings.
+	Violations []core.Violation
+	// StableOps is how many operations survived in the stable log.
+	StableOps int
+	// Replayed is how many operations recovery redid.
+	Replayed int
+	// Examined is how many log records recovery examined.
+	Examined int
+	// Stats carries the method's counters at crash time.
+	Stats method.Stats
+	// RecoverErr is non-nil if the recovery procedure itself failed.
+	RecoverErr error
+	// OnlineOK is the live auditor's verdict at the crash (true when
+	// OnlineAudit was off).
+	OnlineOK bool
+	// TruncatedRecords counts log records dropped by truncation.
+	TruncatedRecords int
+	// OnlineAudits counts the live audits performed.
+	OnlineAudits int
+}
+
+// Run executes one simulation.
+func Run(mk Factory, cfg Config) (*Result, error) {
+	if cfg.Initial == nil {
+		cfg.Initial = model.NewState()
+	}
+	flushP, forceP, ckP := cfg.FlushProb, cfg.ForceProb, cfg.CheckpointProb
+	if flushP == 0 {
+		flushP = 0.3
+	}
+	if forceP == 0 {
+		forceP = 0.2
+	}
+	if ckP == 0 {
+		ckP = 0.1
+	}
+	if cfg.CrashAfter < 0 || cfg.CrashAfter > len(cfg.Ops) {
+		return nil, fmt.Errorf("sim: crash point %d out of range [0,%d]", cfg.CrashAfter, len(cfg.Ops))
+	}
+
+	db := mk(cfg.Initial)
+	if cfg.DisableWAL {
+		db.DisableWAL()
+	}
+	var auditor *core.Auditor
+	if cfg.OnlineAudit {
+		auditor = core.NewAuditor(cfg.Initial)
+		db.SetInstallHook(auditor.PageInstalled)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	onlineOK := true
+	truncated := 0
+	for i := 0; i < cfg.CrashAfter; i++ {
+		if err := db.Exec(cfg.Ops[i]); err != nil {
+			return nil, fmt.Errorf("sim: %s: executing op %d: %w", db.Name(), i, err)
+		}
+		if auditor != nil {
+			if _, err := auditor.Logged(cfg.Ops[i]); err != nil {
+				return nil, fmt.Errorf("sim: online auditor: %w", err)
+			}
+		}
+		if rng.Float64() < flushP {
+			db.FlushOne()
+		}
+		if rng.Float64() < forceP {
+			db.FlushLog()
+		}
+		if rng.Float64() < ckP {
+			if err := db.Checkpoint(); err != nil {
+				return nil, fmt.Errorf("sim: %s: checkpoint: %w", db.Name(), err)
+			}
+			if cfg.TruncateProb > 0 && rng.Float64() < cfg.TruncateProb {
+				if tr, ok := db.(method.Truncator); ok {
+					n, err := tr.TruncateCheckpointed()
+					if err != nil {
+						return nil, fmt.Errorf("sim: %s: truncate: %w", db.Name(), err)
+					}
+					truncated += n
+				}
+			}
+		}
+		if auditor != nil {
+			// Continuous auditing: a crash after this step must leave an
+			// explainable stable state.
+			if rep := auditor.Audit(db.StableState()); !rep.OK {
+				onlineOK = false
+			}
+		}
+	}
+	stats := db.Stats()
+	db.Crash()
+
+	res := &Result{Method: db.Name(), Stats: stats, OnlineOK: onlineOK, TruncatedRecords: truncated}
+	if auditor != nil {
+		res.OnlineAudits = auditor.Audits
+	}
+	stableLog := db.StableLog()
+	res.StableOps = stableLog.Len()
+
+	// Oracle: the state determined by the surviving log's conflict graph,
+	// applied against the recovery base (the initial state plus every
+	// truncated operation).
+	oracle := db.RecoveryBase()
+	for _, op := range stableLog.Ops() {
+		if _, err := oracle.Apply(op); err != nil {
+			return nil, fmt.Errorf("sim: oracle replay: %w", err)
+		}
+	}
+
+	// Invariant audit at the crash point.
+	if !cfg.SkipChecker {
+		checker, err := core.NewChecker(stableLog, db.RecoveryBase())
+		if err != nil {
+			return nil, fmt.Errorf("sim: building checker: %w", err)
+		}
+		rep := checker.Check(db.StableState(), stableLog, db.Checkpointed(), db.RedoTest(), db.Analyze(), false)
+		res.InvariantOK = rep.OK
+		res.Violations = rep.Violations
+	}
+
+	// Recovery (fresh redo test) and verification.
+	rec, err := method.Recover(db)
+	if err != nil {
+		res.RecoverErr = err
+		return res, nil
+	}
+	res.Replayed = len(rec.RedoSet)
+	res.Examined = rec.Examined
+	res.Recovered = rec.State.Equal(oracle)
+	if cfg.SkipChecker {
+		res.InvariantOK = res.Recovered
+	}
+	return res, nil
+}
+
+// Sweep runs a simulation at every crash point from 0 to len(ops) and
+// returns the per-point results: the crash-matrix row for one method and
+// one workload.
+func Sweep(mk Factory, ops []*model.Op, initial *model.State, seed int64) ([]*Result, error) {
+	out := make([]*Result, 0, len(ops)+1)
+	for crash := 0; crash <= len(ops); crash++ {
+		r, err := Run(mk, Config{Ops: ops, Initial: initial, CrashAfter: crash, Seed: seed + int64(crash)})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Summary condenses a sweep.
+type Summary struct {
+	Method      string
+	Runs        int
+	Recovered   int
+	InvariantOK int
+	Replayed    int
+	Examined    int
+}
+
+// Summarize folds sweep results.
+func Summarize(rs []*Result) Summary {
+	var s Summary
+	for _, r := range rs {
+		s.Method = r.Method
+		s.Runs++
+		if r.Recovered {
+			s.Recovered++
+		}
+		if r.InvariantOK {
+			s.InvariantOK++
+		}
+		s.Replayed += r.Replayed
+		s.Examined += r.Examined
+	}
+	return s
+}

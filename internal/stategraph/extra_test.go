@@ -1,0 +1,121 @@
+package stategraph
+
+import (
+	"testing"
+
+	"redotheory/internal/conflict"
+	"redotheory/internal/graph"
+	"redotheory/internal/model"
+)
+
+func TestWriteValueAccessor(t *testing.T) {
+	cg, s0 := figure4()
+	g, err := FromConflict(cg, s0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := g.WriteValue(1, "x")
+	if !ok || model.AsInt(v) != 2 {
+		t.Errorf("WriteValue(O,x) = %s,%v, want 2", v, ok)
+	}
+	if _, ok := g.WriteValue(1, "y"); ok {
+		t.Error("O does not write y")
+	}
+	if _, ok := g.WriteValue(99, "x"); ok {
+		t.Error("unknown op accepted")
+	}
+}
+
+func TestInitialCloneIndependent(t *testing.T) {
+	s0 := model.StateOf(map[model.Var]model.Value{"x": "1"})
+	g := New(s0)
+	got := g.Initial()
+	got.Set("x", "mutated")
+	if g.Initial().Get("x") != "1" {
+		t.Error("Initial returned a shared state")
+	}
+	// Mutating the caller's s0 after construction must not leak in.
+	s0.Set("x", "changed")
+	if g.Initial().Get("x") != "1" {
+		t.Error("constructor did not clone the initial state")
+	}
+}
+
+func TestGraphAccessors(t *testing.T) {
+	cg, s0 := figure4()
+	g, err := FromConflict(cg, s0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.NodeIDs(); len(got) != 3 {
+		t.Errorf("NodeIDs = %v", got)
+	}
+	if vs := g.Vars(); len(vs) != 2 || vs[0] != "x" || vs[1] != "y" {
+		t.Errorf("Vars = %v", vs)
+	}
+	// Writers of x: O's node then Q's node, in graph order.
+	ws := g.Writers("x")
+	if len(ws) != 2 {
+		t.Fatalf("Writers(x) = %v", ws)
+	}
+	if !g.DAG().HasPath(ws[0], ws[1]) {
+		t.Error("writer order does not follow graph order")
+	}
+	if g.Node(ws[0]) == nil || g.Node(9999) != nil {
+		t.Error("Node lookup wrong")
+	}
+}
+
+func TestIsPrefixDelegation(t *testing.T) {
+	cg, s0 := figure4()
+	g, _ := FromConflict(cg, s0)
+	no := g.NodeOf(1).ID()
+	if !g.IsPrefix(graph.NewSet(no)) {
+		t.Error("{O} should be a prefix")
+	}
+	if g.IsPrefix(graph.NewSet(g.NodeOf(3).ID())) {
+		t.Error("{Q} should not be a prefix")
+	}
+}
+
+func TestFromConflictPropagatesApplyErrors(t *testing.T) {
+	// An operation whose apply function misbehaves (writes the wrong set)
+	// surfaces as an error from FromConflict.
+	bad := model.NewOp(1, "bad", nil, []model.Var{"x", "y"},
+		func(model.ReadSet) model.WriteSet { return model.WriteSet{"x": "1"} })
+	cg := conflict.FromOps(bad)
+	if _, err := FromConflict(cg, model.NewState()); err == nil {
+		t.Error("misbehaving operation accepted")
+	}
+}
+
+func TestMultiOpNodeDeterminedState(t *testing.T) {
+	// Hand-built state graph with a collapsed-style node carrying two
+	// operations: the determined state uses the node's single value per
+	// variable.
+	g := New(model.NewState())
+	n1 := g.AddNode([]model.OpID{1, 2}, map[model.Var]model.Value{"x": "2", "y": "9"})
+	n2 := g.AddNode([]model.OpID{3}, map[model.Var]model.Value{"x": "3"})
+	g.AddEdge(n1.ID(), n2.ID())
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := g.DeterminedState(graph.NewSet(n1.ID()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Get("x") != "2" || s.Get("y") != "9" {
+		t.Errorf("state = %v", s)
+	}
+	full := g.FinalState()
+	if full.Get("x") != "3" || full.Get("y") != "9" {
+		t.Errorf("final = %v", full)
+	}
+	// PrefixOfOps rejects splitting the collapsed node.
+	if _, err := g.PrefixOfOps(graph.NewSet[model.OpID](1)); err == nil {
+		t.Error("split node accepted")
+	}
+	if set, err := g.PrefixOfOps(graph.NewSet[model.OpID](1, 2)); err != nil || len(set) != 1 {
+		t.Errorf("PrefixOfOps = %v, %v", set, err)
+	}
+}

@@ -1,0 +1,131 @@
+// Package storage simulates the stable state: a page store that survives
+// crashes. Pages are the system's variables; a page write is atomic at
+// page granularity (the standard disk assumption behind physiological
+// recovery), and optional multi-page atomic groups model the
+// shadow-paging "pointer swing" of System R-style logical recovery
+// (Section 6.1) and the multi-variable atomic installations of Section 5.
+//
+// Every page carries an LSN tag — "the LSN is usually on the page"
+// (Section 6.3) — naming the last operation whose effects the page
+// reflects. Fault injection can tear multi-page groups to demonstrate why
+// atomicity matters; the recovery-invariant checker catches the resulting
+// unexplainable states.
+package storage
+
+import (
+	"fmt"
+	"sort"
+
+	"redotheory/internal/core"
+	"redotheory/internal/model"
+)
+
+// Page is a stable page: contents plus the LSN tag of the last operation
+// that updated it.
+type Page struct {
+	Data model.Value
+	LSN  core.LSN
+}
+
+// Store is the stable page store. It survives Crash; everything volatile
+// lives elsewhere (cache, unflushed log tail).
+type Store struct {
+	pages map[model.Var]Page
+	// tearAfter, when non-negative, makes the next WriteGroup apply only
+	// that many pages and then fail, simulating a torn multi-page write.
+	tearAfter int
+	// PageWrites counts individual page writes, WriteGroups counts atomic
+	// group commits; benchmarks report both.
+	PageWrites  int
+	GroupWrites int
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{pages: make(map[model.Var]Page), tearAfter: -1}
+}
+
+// FromState initializes a store from a state, with all pages tagged LSN 0.
+func FromState(s *model.State) *Store {
+	st := NewStore()
+	for _, x := range s.Vars() {
+		st.pages[x] = Page{Data: s.Get(x)}
+	}
+	return st
+}
+
+// Read returns the page and whether it exists. A missing page reads as
+// the zero page (zero Value, LSN 0), matching the model's total states.
+func (s *Store) Read(id model.Var) (Page, bool) {
+	p, ok := s.pages[id]
+	return p, ok
+}
+
+// PageLSN returns the LSN tag of a page (0 for missing pages).
+func (s *Store) PageLSN(id model.Var) core.LSN { return s.pages[id].LSN }
+
+// Write atomically replaces one page. Single-page atomicity is the
+// baseline guarantee real disks provide (modulo torn sector handling).
+func (s *Store) Write(id model.Var, data model.Value, lsn core.LSN) {
+	s.pages[id] = Page{Data: data, LSN: lsn}
+	s.PageWrites++
+}
+
+// WriteGroup atomically replaces a set of pages: either all writes apply
+// or (under injected tearing) a prefix does and an error is returned.
+// Logical recovery's checkpoint pointer swing and Section 5's
+// multi-variable installations use this.
+func (s *Store) WriteGroup(pages map[model.Var]Page) error {
+	ids := make([]model.Var, 0, len(pages))
+	for id := range pages {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for i, id := range ids {
+		if s.tearAfter >= 0 && i == s.tearAfter {
+			s.tearAfter = -1
+			return fmt.Errorf("storage: write group torn after %d of %d pages", i, len(ids))
+		}
+		s.pages[id] = pages[id]
+		s.PageWrites++
+	}
+	s.GroupWrites++
+	return nil
+}
+
+// TearNextGroup arms fault injection: the next WriteGroup applies only n
+// pages and then fails, leaving the group half-written.
+func (s *Store) TearNextGroup(n int) { s.tearAfter = n }
+
+// State projects the page contents as a model state (dropping LSN tags).
+func (s *Store) State() *model.State {
+	out := model.NewState()
+	for id, p := range s.pages {
+		out.Set(id, p.Data)
+	}
+	return out
+}
+
+// LSNs returns a copy of the page LSN table.
+func (s *Store) LSNs() map[model.Var]core.LSN {
+	out := make(map[model.Var]core.LSN, len(s.pages))
+	for id, p := range s.pages {
+		if p.LSN != 0 {
+			out[id] = p.LSN
+		}
+	}
+	return out
+}
+
+// Clone returns an independent copy (used to snapshot the stable state
+// for checkers without letting recovery mutate the original).
+func (s *Store) Clone() *Store {
+	c := NewStore()
+	for id, p := range s.pages {
+		c.pages[id] = p
+	}
+	return c
+}
+
+// Len returns the number of materialized pages.
+func (s *Store) Len() int { return len(s.pages) }

@@ -1,0 +1,53 @@
+package trace
+
+import (
+	"testing"
+
+	"redotheory/internal/core"
+)
+
+// FuzzDecodeMaterialize checks that arbitrary bytes never panic the
+// decoder or the materializer, and that traces that survive both always
+// produce a checkable configuration.
+func FuzzDecodeMaterialize(f *testing.F) {
+	good, err := (&Trace{
+		Ops: []Op{
+			{ID: 1, Name: "B", Wrote: map[string]string{"y": "2"}},
+			{ID: 2, Name: "A", Reads: []string{"y"}, Wrote: map[string]string{"x": "3"}},
+		},
+		State:     map[string]string{"x": "3"},
+		Installed: []uint64{2},
+	}).Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte(`{"ops":[{"id":1,"wrote":{"x":"1"}}],"state":{},"installed":[]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"ops":[{"id":1,"wrote":{"x":"1"},"reads":["x","x","y"]}],"installed":[1]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Decode(data)
+		if err != nil {
+			return
+		}
+		ops, initial, state, installed, err := tr.Materialize()
+		if err != nil {
+			return
+		}
+		log := core.NewLog()
+		for _, op := range ops {
+			log.Append(op)
+		}
+		ck, err := core.NewChecker(log, initial)
+		if err != nil {
+			t.Fatalf("materialized trace failed checker construction: %v", err)
+		}
+		rep := ck.CheckInstalled(state, installed)
+		if rep == nil {
+			t.Fatal("nil report")
+		}
+		_ = rep.Summary()
+	})
+}

@@ -1,0 +1,158 @@
+// Package trace records and replays recovery audits: a serialized
+// history (operations with the values they wrote), the stable state at a
+// crash, and the set of operations a recovery method claims are
+// installed. cmd/redocheck reads a trace and runs the recovery-invariant
+// checker over it, so the checker can audit systems that merely *log*
+// their histories without linking against this library.
+//
+// Traced operations carry their written values as constants rather than
+// executable functions — exactly what the checker needs: the invariant
+// (prefix of the installation graph + explanation of exposed variables)
+// is a property of the conflict structure and the written values, not of
+// the operations' code.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"redotheory/internal/conflict"
+	"redotheory/internal/graph"
+	"redotheory/internal/model"
+	"redotheory/internal/stategraph"
+)
+
+// Op is a traced operation: its conflict footprint plus the values it
+// wrote during the traced execution.
+type Op struct {
+	ID    uint64            `json:"id"`
+	Name  string            `json:"name,omitempty"`
+	Reads []string          `json:"reads,omitempty"`
+	Wrote map[string]string `json:"wrote"`
+}
+
+// Trace is a serialized recovery audit input.
+type Trace struct {
+	// Initial is the initial state (zero-valued variables omitted).
+	Initial map[string]string `json:"initial,omitempty"`
+	// Ops is the history in invocation (log) order.
+	Ops []Op `json:"ops"`
+	// State is the stable state at the crash.
+	State map[string]string `json:"state"`
+	// Installed is the set of operation ids the system claims are
+	// installed (operations recovery would not replay).
+	Installed []uint64 `json:"installed"`
+}
+
+// Encode renders the trace as indented JSON.
+func (t *Trace) Encode() ([]byte, error) {
+	return json.MarshalIndent(t, "", "  ")
+}
+
+// Decode parses a JSON trace.
+func Decode(data []byte) (*Trace, error) {
+	var t Trace
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	if len(t.Ops) == 0 {
+		return nil, fmt.Errorf("trace: no operations")
+	}
+	return &t, nil
+}
+
+// Materialize turns the trace into checker inputs: the history as model
+// operations (writing the recorded constants), the initial and crash
+// states, and the claimed installed set.
+func (t *Trace) Materialize() ([]*model.Op, *model.State, *model.State, graph.Set[model.OpID], error) {
+	ops := make([]*model.Op, 0, len(t.Ops))
+	seen := make(map[uint64]bool, len(t.Ops))
+	for i, to := range t.Ops {
+		if to.ID == 0 {
+			return nil, nil, nil, nil, fmt.Errorf("trace: op %d has id 0", i)
+		}
+		if seen[to.ID] {
+			return nil, nil, nil, nil, fmt.Errorf("trace: duplicate op id %d", to.ID)
+		}
+		seen[to.ID] = true
+		if len(to.Wrote) == 0 {
+			return nil, nil, nil, nil, fmt.Errorf("trace: op %d wrote nothing", to.ID)
+		}
+		reads := make([]model.Var, len(to.Reads))
+		for j, r := range to.Reads {
+			reads[j] = model.Var(r)
+		}
+		writes := make([]model.Var, 0, len(to.Wrote))
+		ws := make(model.WriteSet, len(to.Wrote))
+		for w, v := range to.Wrote {
+			writes = append(writes, model.Var(w))
+			ws[model.Var(w)] = model.Value(v)
+		}
+		name := to.Name
+		if name == "" {
+			name = fmt.Sprintf("op%d", to.ID)
+		}
+		wsCopy := ws
+		ops = append(ops, model.NewOp(model.OpID(to.ID), name, reads, writes,
+			func(model.ReadSet) model.WriteSet { return wsCopy }))
+	}
+	initial := stateOf(t.Initial)
+	state := stateOf(t.State)
+	installed := graph.NewSet[model.OpID]()
+	for _, id := range t.Installed {
+		if !seen[id] {
+			return nil, nil, nil, nil, fmt.Errorf("trace: installed op %d is not in the history", id)
+		}
+		installed.Add(model.OpID(id))
+	}
+	return ops, initial, state, installed, nil
+}
+
+func stateOf(m map[string]string) *model.State {
+	s := model.NewState()
+	for k, v := range m {
+		s.Set(model.Var(k), model.Value(v))
+	}
+	return s
+}
+
+// Capture builds a trace from a live history: the operations are
+// executed from the initial state to record their written values (via
+// the conflict state graph), and the given crash state and installed set
+// are embedded.
+func Capture(ops []*model.Op, initial, state *model.State, installed graph.Set[model.OpID]) (*Trace, error) {
+	cg := conflict.FromOps(ops...)
+	sg, err := stategraph.FromConflict(cg, initial)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	t := &Trace{
+		Initial: stateMap(initial),
+		State:   stateMap(state),
+	}
+	for _, op := range ops {
+		to := Op{ID: uint64(op.ID()), Name: op.Name(), Wrote: map[string]string{}}
+		for _, r := range op.Reads() {
+			to.Reads = append(to.Reads, string(r))
+		}
+		node := sg.NodeOf(op.ID())
+		for x, v := range node.Writes() {
+			to.Wrote[string(x)] = string(v)
+		}
+		t.Ops = append(t.Ops, to)
+	}
+	for id := range installed {
+		t.Installed = append(t.Installed, uint64(id))
+	}
+	sort.Slice(t.Installed, func(i, j int) bool { return t.Installed[i] < t.Installed[j] })
+	return t, nil
+}
+
+func stateMap(s *model.State) map[string]string {
+	out := make(map[string]string, s.Len())
+	for _, v := range s.Vars() {
+		out[string(v)] = string(s.Get(v))
+	}
+	return out
+}

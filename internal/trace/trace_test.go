@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"testing"
+
+	"redotheory/internal/core"
+	"redotheory/internal/graph"
+	"redotheory/internal/model"
+)
+
+// checkTrace materializes a trace and runs the invariant checker.
+func checkTrace(t *testing.T, tr *Trace) *core.Report {
+	t.Helper()
+	ops, initial, state, installed, err := tr.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := core.NewLog()
+	for _, op := range ops {
+		log.Append(op)
+	}
+	ck, err := core.NewChecker(log, initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ck.CheckInstalled(state, installed)
+}
+
+func scenario2Trace() *Trace {
+	return &Trace{
+		Ops: []Op{
+			{ID: 1, Name: "B", Wrote: map[string]string{"y": "2"}},
+			{ID: 2, Name: "A", Reads: []string{"y"}, Wrote: map[string]string{"x": "3"}},
+		},
+		State:     map[string]string{"x": "3"},
+		Installed: []uint64{2},
+	}
+}
+
+func TestScenario2TraceChecksOK(t *testing.T) {
+	rep := checkTrace(t, scenario2Trace())
+	if !rep.OK {
+		t.Errorf("scenario 2 trace rejected: %s", rep.Summary())
+	}
+}
+
+func TestScenario1TraceChecksViolated(t *testing.T) {
+	tr := &Trace{
+		Ops: []Op{
+			{ID: 1, Name: "A", Reads: []string{"y"}, Wrote: map[string]string{"x": "1"}},
+			{ID: 2, Name: "B", Wrote: map[string]string{"y": "2"}},
+		},
+		State:     map[string]string{"y": "2"},
+		Installed: []uint64{2},
+	}
+	rep := checkTrace(t, tr)
+	if rep.OK {
+		t.Error("scenario 1 trace accepted")
+	}
+	if rep.Violations[0].Kind != core.NotPrefix {
+		t.Errorf("kind = %v", rep.Violations[0].Kind)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	tr := scenario2Trace()
+	data, err := tr.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := checkTrace(t, back)
+	if !rep.OK {
+		t.Error("round-tripped trace rejected")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode([]byte("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Decode([]byte(`{"ops":[]}`)); err == nil {
+		t.Error("empty history accepted")
+	}
+}
+
+func TestMaterializeErrors(t *testing.T) {
+	cases := []*Trace{
+		{Ops: []Op{{ID: 0, Wrote: map[string]string{"x": "1"}}}},
+		{Ops: []Op{{ID: 1, Wrote: map[string]string{"x": "1"}}, {ID: 1, Wrote: map[string]string{"y": "1"}}}},
+		{Ops: []Op{{ID: 1, Wrote: map[string]string{}}}},
+		{Ops: []Op{{ID: 1, Wrote: map[string]string{"x": "1"}}}, Installed: []uint64{9}},
+	}
+	for i, tr := range cases {
+		if _, _, _, _, err := tr.Materialize(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestCaptureRoundTrip(t *testing.T) {
+	// Capture a live history and verify the trace audits identically.
+	ops := []*model.Op{
+		model.AssignConst(1, "y", model.IntVal(2)),
+		model.CopyPlus(2, "x", "y", 1),
+	}
+	state := model.StateOf(map[model.Var]model.Value{"x": model.IntVal(3)})
+	tr, err := Capture(ops, model.NewState(), state, graph.NewSet[model.OpID](2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Ops) != 2 || tr.Ops[1].Wrote["x"] != "3" {
+		t.Errorf("captured trace = %+v", tr)
+	}
+	rep := checkTrace(t, tr)
+	if !rep.OK {
+		t.Errorf("captured trace rejected: %s", rep.Summary())
+	}
+}

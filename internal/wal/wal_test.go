@@ -1,0 +1,111 @@
+package wal
+
+import (
+	"testing"
+
+	"redotheory/internal/model"
+)
+
+func TestAppendFlushStable(t *testing.T) {
+	m := NewManager()
+	m.Append(model.Incr(1, "x", 1), 10)
+	m.Append(model.Incr(2, "x", 1), 20)
+	if m.StableLSN() != 0 {
+		t.Errorf("stable = %d before flush", m.StableLSN())
+	}
+	if err := m.RequireStable(1); err == nil {
+		t.Error("unflushed record reported stable")
+	}
+	m.Flush()
+	if m.StableLSN() != 2 {
+		t.Errorf("stable = %d after flush", m.StableLSN())
+	}
+	if err := m.RequireStable(2); err != nil {
+		t.Error(err)
+	}
+	if m.BytesTotal() != 30 {
+		t.Errorf("bytes = %d", m.BytesTotal())
+	}
+}
+
+func TestFlushTo(t *testing.T) {
+	m := NewManager()
+	m.Append(model.Incr(1, "x", 1), 1)
+	m.Append(model.Incr(2, "x", 1), 1)
+	m.Append(model.Incr(3, "x", 1), 1)
+	m.FlushTo(2)
+	if m.StableLSN() != 2 {
+		t.Errorf("stable = %d", m.StableLSN())
+	}
+	m.FlushTo(1) // no-op backwards
+	if m.StableLSN() != 2 {
+		t.Error("FlushTo moved backwards")
+	}
+	m.FlushTo(99) // clamped
+	if m.StableLSN() != 3 {
+		t.Errorf("stable = %d", m.StableLSN())
+	}
+}
+
+func TestStableLogAndCrash(t *testing.T) {
+	m := NewManager()
+	m.Append(model.Incr(1, "x", 1), 1)
+	m.Flush()
+	m.Append(model.Incr(2, "x", 1), 1)
+	if got := m.StableLog().Len(); got != 1 {
+		t.Errorf("stable log len = %d", got)
+	}
+	survived := m.Crash()
+	if survived.Len() != 1 || survived.RecordOf(2) != nil {
+		t.Error("crash kept the volatile tail")
+	}
+	// The manager keeps working after a crash (new epoch).
+	m.Append(model.Incr(3, "y", 1), 1)
+	if m.Log().Len() != 2 {
+		t.Errorf("post-crash log len = %d", m.Log().Len())
+	}
+}
+
+func TestCheckpoints(t *testing.T) {
+	m := NewManager()
+	if _, ok := m.StableCheckpoint(); ok {
+		t.Error("phantom checkpoint")
+	}
+	m.Append(model.Incr(1, "x", 1), 1)
+	ck := m.AppendCheckpoint("payload-1")
+	if ck.AtLSN != 2 {
+		t.Errorf("checkpoint AtLSN = %d, want 2", ck.AtLSN)
+	}
+	got, ok := m.StableCheckpoint()
+	if !ok || got.Payload != "payload-1" {
+		t.Errorf("stable checkpoint = %+v, %v", got, ok)
+	}
+	// A later checkpoint supersedes.
+	m.Append(model.Incr(2, "x", 1), 1)
+	m.AppendCheckpoint("payload-2")
+	got, _ = m.StableCheckpoint()
+	if got.Payload != "payload-2" {
+		t.Errorf("latest checkpoint = %+v", got)
+	}
+}
+
+func TestCheckpointSurvivesCrashOnlyIfStable(t *testing.T) {
+	m := NewManager()
+	m.Append(model.Incr(1, "x", 1), 1)
+	m.AppendCheckpoint("ck") // forced
+	m.Append(model.Incr(2, "x", 1), 1)
+	m.Crash()
+	if _, ok := m.StableCheckpoint(); !ok {
+		t.Error("forced checkpoint lost in crash")
+	}
+}
+
+func TestForcesCounter(t *testing.T) {
+	m := NewManager()
+	m.Append(model.Incr(1, "x", 1), 1)
+	m.Flush()
+	m.Flush() // no work
+	if m.Forces != 1 {
+		t.Errorf("Forces = %d, want 1", m.Forces)
+	}
+}

@@ -1,0 +1,154 @@
+// Package workload generates operation streams for the simulator, the
+// experiments, and the benchmarks. Each generator produces deterministic
+// operations (via model.ReadWrite digests) so recovery correctness is
+// sensitive to every read: replaying an operation against a wrong
+// read-set value produces a visibly wrong write.
+//
+// The shapes match what each Section 6 method can execute:
+//
+//   - SinglePage: read page p, write page p — physiological-legal.
+//   - ReadManyWriteOne: read several pages, write one — generalized-LSN
+//     legal (the B-tree split shape).
+//   - AnyShape: arbitrary read and write sets — logical/physical only.
+//   - BlindWrites: write-only operations — the pure physical shape.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"redotheory/internal/model"
+)
+
+// Pages returns n page identifiers pg0…pg(n-1).
+func Pages(n int) []model.Var {
+	out := make([]model.Var, n)
+	for i := range out {
+		out[i] = model.Var(fmt.Sprintf("pg%02d", i))
+	}
+	return out
+}
+
+// InitialState gives every page a distinct integer value.
+func InitialState(pages []model.Var) *model.State {
+	s := model.NewState()
+	for i, p := range pages {
+		s.SetInt(p, int64(1000+i))
+	}
+	return s
+}
+
+// zipfPick selects a page with a Zipf-ish skew (hot pages first) when
+// skew is true, uniformly otherwise.
+func zipfPick(rng *rand.Rand, pages []model.Var, skew bool) model.Var {
+	if !skew {
+		return pages[rng.Intn(len(pages))]
+	}
+	z := rand.NewZipf(rng, 1.3, 1, uint64(len(pages)-1))
+	return pages[z.Uint64()]
+}
+
+// SinglePage generates n read-modify-write operations, each touching
+// exactly one page.
+func SinglePage(n int, pages []model.Var, seed int64, skew bool) []*model.Op {
+	rng := rand.New(rand.NewSource(seed))
+	ops := make([]*model.Op, n)
+	for i := range ops {
+		p := zipfPick(rng, pages, skew)
+		ops[i] = model.ReadWrite(model.OpID(i+1), "upd", []model.Var{p}, []model.Var{p})
+	}
+	return ops
+}
+
+// ReadManyWriteOne generates n operations that read up to maxReads pages
+// and write exactly one.
+func ReadManyWriteOne(n int, pages []model.Var, maxReads int, seed int64) []*model.Op {
+	rng := rand.New(rand.NewSource(seed))
+	ops := make([]*model.Op, n)
+	for i := range ops {
+		var reads []model.Var
+		for _, p := range pages {
+			if rng.Float64() < float64(maxReads)/float64(len(pages)) {
+				reads = append(reads, p)
+			}
+		}
+		w := pages[rng.Intn(len(pages))]
+		ops[i] = model.ReadWrite(model.OpID(i+1), "rmw", reads, []model.Var{w})
+	}
+	return ops
+}
+
+// AnyShape generates n operations with arbitrary read and write sets.
+func AnyShape(n int, pages []model.Var, seed int64) []*model.Op {
+	rng := rand.New(rand.NewSource(seed))
+	ops := make([]*model.Op, n)
+	for i := range ops {
+		var reads, writes []model.Var
+		for _, p := range pages {
+			if rng.Float64() < 0.3 {
+				reads = append(reads, p)
+			}
+			if rng.Float64() < 0.3 {
+				writes = append(writes, p)
+			}
+		}
+		if len(writes) == 0 {
+			writes = []model.Var{pages[rng.Intn(len(pages))]}
+		}
+		ops[i] = model.ReadWrite(model.OpID(i+1), "any", reads, writes)
+	}
+	return ops
+}
+
+// BlindWrites generates n write-only operations.
+func BlindWrites(n int, pages []model.Var, seed int64) []*model.Op {
+	rng := rand.New(rand.NewSource(seed))
+	ops := make([]*model.Op, n)
+	for i := range ops {
+		p := pages[rng.Intn(len(pages))]
+		ops[i] = model.ReadWrite(model.OpID(i+1), "blind", nil, []model.Var{p})
+	}
+	return ops
+}
+
+// BankTransfers generates n two-account transfers (read both accounts,
+// write both) over the pages as accounts: a classic multi-variable
+// workload for the logical and physical methods.
+func BankTransfers(n int, pages []model.Var, seed int64) []*model.Op {
+	rng := rand.New(rand.NewSource(seed))
+	ops := make([]*model.Op, n)
+	for i := range ops {
+		from := pages[rng.Intn(len(pages))]
+		to := pages[rng.Intn(len(pages))]
+		for to == from {
+			to = pages[rng.Intn(len(pages))]
+		}
+		amt := rng.Int63n(50) + 1
+		f, tt := from, to
+		ops[i] = model.NewOp(model.OpID(i+1), fmt.Sprintf("xfer(%s->%s,%d)", f, tt, amt),
+			[]model.Var{f, tt}, []model.Var{f, tt},
+			func(r model.ReadSet) model.WriteSet {
+				return model.WriteSet{
+					f:  model.IntVal(model.AsInt(r[f]) - amt),
+					tt: model.IntVal(model.AsInt(r[tt]) + amt),
+				}
+			})
+	}
+	return ops
+}
+
+// ForMethod returns a workload legal for the named method.
+func ForMethod(name string, n int, pages []model.Var, seed int64) ([]*model.Op, error) {
+	switch name {
+	case "physiological", "physiological+dpt":
+		return SinglePage(n, pages, seed, false), nil
+	case "genlsn", "genlsn+mv":
+		return ReadManyWriteOne(n, pages, 3, seed), nil
+	case "physical", "grouplsn":
+		return AnyShape(n, pages, seed), nil
+	case "logical":
+		return AnyShape(n, pages, seed), nil
+	default:
+		return nil, fmt.Errorf("workload: unknown method %q", name)
+	}
+}

@@ -1,0 +1,72 @@
+package writegraph_test
+
+import (
+	"fmt"
+
+	"redotheory/internal/conflict"
+	"redotheory/internal/install"
+	"redotheory/internal/model"
+	"redotheory/internal/stategraph"
+	"redotheory/internal/writegraph"
+)
+
+// ExampleGraph_Collapse reproduces Figure 7: collapsing the x-writers O
+// and Q leaves a two-node write graph whose edge forces the cache
+// manager to install P's page (y) before the collapsed node's page (x).
+func ExampleGraph_Collapse() {
+	s0 := model.NewState()
+	s0.SetInt("x", 1)
+	o := model.Incr(1, "x", 1)
+	p := model.CopyPlus(2, "y", "x", 1)
+	q := model.Incr(3, "x", 1)
+	cg := conflict.FromOps(o, p, q)
+	sg, err := stategraph.FromConflict(cg, s0)
+	if err != nil {
+		panic(err)
+	}
+	g := writegraph.FromInstallation(install.FromConflict(cg), sg)
+
+	oq, err := g.Collapse(g.NodeOf(o.ID()), g.NodeOf(q.ID()))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("install {O,Q} first:", g.Install(oq) != nil, "(rejected)")
+	if err := g.Install(g.NodeOf(p.ID())); err != nil {
+		panic(err)
+	}
+	fmt.Println("after installing P:", g.DeterminedState())
+	if err := g.Install(oq); err != nil {
+		panic(err)
+	}
+	fmt.Println("after installing {O,Q}:", g.DeterminedState())
+	fmt.Println("explainable throughout:", g.CheckExplainable() == nil)
+	// Output:
+	// install {O,Q} first: true (rejected)
+	// after installing P: {x=1 y=3}
+	// after installing {O,Q}: {x=3 y=3}
+	// explainable throughout: true
+}
+
+// ExampleGraph_RemoveWrite shows the Section 5 H,J example: J's blind
+// write leaves y unexposed, so H installs by writing x alone.
+func ExampleGraph_RemoveWrite() {
+	h := model.IncrBoth(1, "x", 1, "y", 1)
+	j := model.AssignConst(2, "y", model.IntVal(0))
+	cg := conflict.FromOps(h, j)
+	sg, err := stategraph.FromConflict(cg, model.NewState())
+	if err != nil {
+		panic(err)
+	}
+	g := writegraph.FromInstallation(install.FromConflict(cg), sg)
+	if err := g.RemoveWrite(g.NodeOf(h.ID()), "y"); err != nil {
+		panic(err)
+	}
+	if err := g.Install(g.NodeOf(h.ID())); err != nil {
+		panic(err)
+	}
+	fmt.Println("state after installing H without y:", g.DeterminedState())
+	fmt.Println("explainable:", g.CheckExplainable() == nil)
+	// Output:
+	// state after installing H without y: {x=1}
+	// explainable: true
+}

@@ -1,0 +1,346 @@
+package writegraph
+
+import (
+	"fmt"
+	"sort"
+
+	"redotheory/internal/graph"
+	"redotheory/internal/model"
+)
+
+// Install sets the installed flag on a node (Section 5.1, "Install a
+// node"): every predecessor must already be installed, so installed nodes
+// always form a prefix. Installing a node models atomically updating the
+// stable state with the node's variable-value pairs.
+func (g *Graph) Install(id NodeID) error {
+	n := g.nodes[id]
+	if n == nil {
+		return fmt.Errorf("writegraph: install of unknown node %d", id)
+	}
+	if n.installed {
+		return fmt.Errorf("writegraph: node %d already installed", id)
+	}
+	for _, p := range g.dag.Preds(id) {
+		if !g.nodes[p].installed {
+			return fmt.Errorf("writegraph: cannot install node %d: predecessor %d is not installed", id, p)
+		}
+	}
+	n.installed = true
+	return nil
+}
+
+// AddEdge adds a directed edge from node u to node m (Section 5.1, "Add
+// an edge"): m must be uninstalled and the result must stay acyclic. A
+// cache manager uses this to constrain flush order beyond what the
+// installation graph requires (e.g. Figure 8's new-page-before-old-page
+// ordering).
+func (g *Graph) AddEdge(u, m NodeID) error {
+	if g.nodes[u] == nil || g.nodes[m] == nil {
+		return fmt.Errorf("writegraph: edge %d→%d references an unknown node", u, m)
+	}
+	if u == m {
+		return fmt.Errorf("writegraph: self-edge on node %d", u)
+	}
+	if g.nodes[m].installed {
+		return fmt.Errorf("writegraph: cannot add edge into installed node %d", m)
+	}
+	if g.dag.HasEdge(u, m) {
+		return nil
+	}
+	if g.dag.HasPath(m, u) {
+		return fmt.Errorf("writegraph: edge %d→%d would create a cycle", u, m)
+	}
+	g.dag.AddEdge(u, m)
+	return nil
+}
+
+// Collapse replaces a set of nodes with a single node (Section 5.1,
+// "Collapse nodes"): the result must stay acyclic, the merged writes keep
+// the last value per variable in the old graph order, and the new node is
+// installed iff any collapsed node was — in which case the installed
+// prefix property is re-validated. Collapsing is how a cache manager
+// models a single cache copy per page (merging uninstalled nodes) and how
+// flushing a page installs its operations (collapsing an uninstalled node
+// into the installed minimum node). It returns the new node's id.
+func (g *Graph) Collapse(ids ...NodeID) (NodeID, error) {
+	if len(ids) < 2 {
+		return 0, fmt.Errorf("writegraph: collapse needs at least two nodes, got %d", len(ids))
+	}
+	set := graph.NewSet[NodeID]()
+	for _, id := range ids {
+		if g.nodes[id] == nil {
+			return 0, fmt.Errorf("writegraph: collapse of unknown node %d", id)
+		}
+		if set.Has(id) {
+			return 0, fmt.Errorf("writegraph: node %d listed twice in collapse", id)
+		}
+		set.Add(id)
+	}
+
+	// Simulate the contraction on a clone and check acyclicity.
+	sim := g.dag.Clone()
+	const probe = NodeID(1<<63 - 1) // fresh id for the simulated merged node
+	sim.AddNode(probe)
+	for id := range set {
+		for _, p := range sim.Preds(id) {
+			if !set.Has(p) && p != probe {
+				sim.AddEdge(p, probe)
+			}
+		}
+		for _, s := range sim.Succs(id) {
+			if !set.Has(s) && s != probe {
+				sim.AddEdge(probe, s)
+			}
+		}
+		sim.RemoveNode(id)
+	}
+	if !sim.IsAcyclic() {
+		return 0, fmt.Errorf("writegraph: collapsing %v would create a cycle", ids)
+	}
+
+	// The new node is installed iff any member is; the installed prefix
+	// property must survive. With an installed merged node, every outside
+	// predecessor must be installed.
+	anyInstalled := false
+	for id := range set {
+		if g.nodes[id].installed {
+			anyInstalled = true
+		}
+	}
+	if anyInstalled {
+		for _, p := range sim.Preds(probe) {
+			if !g.nodes[p].installed {
+				return 0, fmt.Errorf("writegraph: collapsing %v yields an installed node with uninstalled predecessor %d", ids, p)
+			}
+		}
+	} else {
+		// An uninstalled merged node must not absorb an installed
+		// successor's position; nothing to check — but an installed
+		// successor of an uninstalled merged node would already violate
+		// the existing prefix, which Install prevents.
+		_ = anyInstalled
+	}
+
+	// Merge writes: per variable, members writing it must be contiguous in
+	// the writer order (otherwise the contraction would have been cyclic),
+	// and the last member's value wins.
+	g.nextID++
+	n := &Node{
+		id:        g.nextID,
+		ops:       graph.NewSet[model.OpID](),
+		writes:    make(map[model.Var]model.Value),
+		installed: anyInstalled,
+	}
+	for id := range set {
+		for op := range g.nodes[id].ops {
+			n.ops.Add(op)
+			g.opNode[op] = n.id
+		}
+	}
+	for x, order := range g.writerOrder {
+		first, last := -1, -1
+		for i, w := range order {
+			if set.Has(w) {
+				if first == -1 {
+					first = i
+				}
+				last = i
+			}
+		}
+		if first == -1 {
+			continue
+		}
+		for i := first; i <= last; i++ {
+			if !set.Has(order[i]) {
+				return 0, fmt.Errorf("writegraph: writers of %q in collapse set are interleaved with node %d", x, order[i])
+			}
+		}
+		n.writes[x] = g.nodes[order[last]].writes[x]
+		newOrder := append([]NodeID{}, order[:first]...)
+		newOrder = append(newOrder, n.id)
+		newOrder = append(newOrder, order[last+1:]...)
+		g.writerOrder[x] = newOrder
+	}
+
+	// Rewire the real DAG.
+	g.dag.AddNode(n.id)
+	for id := range set {
+		for _, p := range g.dag.Preds(id) {
+			if !set.Has(p) && p != n.id {
+				g.dag.AddEdge(p, n.id)
+			}
+		}
+		for _, s := range g.dag.Succs(id) {
+			if !set.Has(s) && s != n.id {
+				g.dag.AddEdge(n.id, s)
+			}
+		}
+	}
+	for id := range set {
+		g.dag.RemoveNode(id)
+		delete(g.nodes, id)
+	}
+	g.nodes[n.id] = n
+	if set.Has(g.initialNode) {
+		g.initialNode = n.id
+	}
+	return n.id, nil
+}
+
+// RemoveWrite removes the pair for variable x from a node's writes
+// (Section 5.1, "Remove a write"), so installing the node no longer has
+// to update x: the removed value is unexposed and will be superseded.
+// The paper's precondition is enforced in the sound, version-precise
+// form documented in DESIGN.md:
+//
+//  1. the node is uninstalled and writes x;
+//  2. some node following n writes x without reading it (the following
+//     blind write both keeps x unexposed for every prefix containing n
+//     and supplies x's value later, so the removed value is never needed
+//     by recovery or by the final state);
+//  3. every operation outside n that reads x either labels an installed
+//     node or read a version of x older than every version n's
+//     operations wrote (the paper's "m is ordered before n", made exact).
+func (g *Graph) RemoveWrite(id NodeID, x model.Var) error {
+	n := g.nodes[id]
+	if n == nil {
+		return fmt.Errorf("writegraph: remove-write on unknown node %d", id)
+	}
+	if n.installed {
+		return fmt.Errorf("writegraph: remove-write on installed node %d", id)
+	}
+	if _, ok := n.writes[x]; !ok {
+		return fmt.Errorf("writegraph: node %d does not write %q", id, x)
+	}
+
+	// Clause 2: a following blind writer of x.
+	blindFollows := false
+	for nid, m := range g.nodes {
+		if nid == id {
+			continue
+		}
+		if _, writes := m.writes[x]; !writes {
+			continue
+		}
+		reads := false
+		for op := range m.ops {
+			if g.ig.Conflict().Op(op).ReadsVar(x) {
+				reads = true
+				break
+			}
+		}
+		if !reads && g.dag.HasPath(id, nid) {
+			blindFollows = true
+			break
+		}
+	}
+	if !blindFollows {
+		return fmt.Errorf("writegraph: cannot remove %q from node %d: no following node writes %q without reading it", x, id, x)
+	}
+
+	// Clause 3: readers of x outside n must be installed or have read a
+	// version older than n's first write of x.
+	cg := g.ig.Conflict()
+	firstVersion := -1 // version index written by n's earliest x-writer
+	for i, w := range cg.Writers(x) {
+		if n.ops.Has(w) {
+			firstVersion = i + 1 // writer i produces version i+1
+			break
+		}
+	}
+	if firstVersion == -1 {
+		return fmt.Errorf("writegraph: node %d labelled as writing %q but no labelling operation writes it", id, x)
+	}
+	for v := 0; v < cg.NumVersions(x); v++ {
+		for _, r := range cg.ReadersOfVersion(x, v) {
+			if n.ops.Has(r) {
+				continue
+			}
+			home := g.nodes[g.opNode[r]]
+			if home != nil && home.installed {
+				continue
+			}
+			if v >= firstVersion {
+				return fmt.Errorf("writegraph: cannot remove %q from node %d: uninstalled operation %d reads version %d, which node %d wrote", x, id, r, v, id)
+			}
+		}
+	}
+
+	delete(n.writes, x)
+	order := g.writerOrder[x]
+	for i, w := range order {
+		if w == id {
+			g.writerOrder[x] = append(order[:i:i], order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// DeterminedState returns the state determined by the installed prefix of
+// the write graph: per variable, the last installed writer's value,
+// falling back to the initial state. This is the stable state a cache
+// manager driving the write graph would have produced.
+func (g *Graph) DeterminedState() *model.State {
+	s := g.initial.Clone()
+	for x, order := range g.writerOrder {
+		for i := len(order) - 1; i >= 0; i-- {
+			if g.nodes[order[i]].installed {
+				s.Set(x, g.nodes[order[i]].writes[x])
+				break
+			}
+		}
+	}
+	return s
+}
+
+// CheckExplainable verifies Corollary 5 for the graph's current installed
+// prefix: the state the prefix determines must be explained by the
+// corresponding prefix of the installation graph, and hence be
+// potentially recoverable. It returns nil on success.
+func (g *Graph) CheckExplainable() error {
+	return g.ig.Explains(g.sg, g.InstalledOps(), g.DeterminedState())
+}
+
+// Validate checks the structural invariants: acyclicity, installed nodes
+// forming a prefix, and writers of each variable totally ordered in the
+// recorded order.
+func (g *Graph) Validate() error {
+	if !g.dag.IsAcyclic() {
+		return fmt.Errorf("writegraph: graph has a cycle")
+	}
+	for id, n := range g.nodes {
+		if !n.installed {
+			continue
+		}
+		for _, p := range g.dag.Preds(id) {
+			if !g.nodes[p].installed {
+				return fmt.Errorf("writegraph: installed node %d has uninstalled predecessor %d", id, p)
+			}
+		}
+	}
+	for x, order := range g.writerOrder {
+		for i := 0; i+1 < len(order); i++ {
+			if !g.dag.HasPath(order[i], order[i+1]) {
+				return fmt.Errorf("writegraph: writers %d and %d of %q are not ordered", order[i], order[i+1], x)
+			}
+		}
+	}
+	return nil
+}
+
+// Writers returns the nodes writing x in graph order. Shared; do not
+// modify.
+func (g *Graph) Writers(x model.Var) []NodeID { return g.writerOrder[x] }
+
+// Vars returns every variable written by some node, sorted.
+func (g *Graph) Vars() []model.Var {
+	out := make([]model.Var, 0, len(g.writerOrder))
+	for x, order := range g.writerOrder {
+		if len(order) > 0 {
+			out = append(out, x)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,195 @@
+// Package writegraph implements the write graph of Section 5 of the
+// paper: a state graph whose nodes carry an installed flag (installed
+// nodes always form a prefix) and that supports the four operations the
+// paper defines — install a node, add an edge, collapse nodes, and remove
+// a write — each with its stated precondition enforced, never assumed.
+//
+// The write graph is how a cache manager reasons about flushing: a node is
+// the set of variable values that must reach the stable state atomically,
+// edges are required write orderings, collapsing models a single cache
+// copy per page accumulating several operations' updates, and removing a
+// write exploits unexposed variables to avoid writing at all. Corollary 5
+// — the state determined by a prefix of a write graph is potentially
+// recoverable — is what makes all of this safe, and the package's
+// CheckExplainable verifies it directly.
+package writegraph
+
+import (
+	"sort"
+
+	"redotheory/internal/graph"
+	"redotheory/internal/install"
+	"redotheory/internal/model"
+	"redotheory/internal/stategraph"
+)
+
+// NodeID identifies a write graph node. Nodes created by collapses get
+// fresh ids.
+type NodeID uint64
+
+// Node is a write graph node.
+type Node struct {
+	id        NodeID
+	ops       graph.Set[model.OpID]
+	writes    map[model.Var]model.Value
+	installed bool
+}
+
+// ID returns the node id.
+func (n *Node) ID() NodeID { return n.id }
+
+// Installed reports the node's installed flag.
+func (n *Node) Installed() bool { return n.installed }
+
+// Ops returns the operations labelling the node. Shared; do not modify.
+func (n *Node) Ops() graph.Set[model.OpID] { return n.ops }
+
+// Writes returns the node's variable-value pairs: the atomic update that
+// installs the node. Shared; do not modify.
+func (n *Node) Writes() map[model.Var]model.Value { return n.writes }
+
+// Vars returns the written variables in sorted order.
+func (n *Node) Vars() []model.Var {
+	out := make([]model.Var, 0, len(n.writes))
+	for x := range n.writes {
+		out = append(out, x)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Graph is a write graph. All mutations validate their preconditions and
+// return an error without changing the graph when one fails.
+type Graph struct {
+	ig          *install.Graph
+	sg          *stategraph.Graph
+	dag         *graph.Graph[NodeID]
+	nodes       map[NodeID]*Node
+	opNode      map[model.OpID]NodeID
+	writerOrder map[model.Var][]NodeID
+	initial     *model.State
+	initialNode NodeID // 0 when absent
+	nextID      NodeID
+}
+
+// FromInstallation derives the simplest write graph from an installation
+// graph and its conflict state graph: one uninstalled node per operation,
+// labelled with the operation's writes, connected by the installation
+// edges (Section 5.1: "The simplest write graph is the installation state
+// graph").
+func FromInstallation(ig *install.Graph, sg *stategraph.Graph) *Graph {
+	g := &Graph{
+		ig:          ig,
+		sg:          sg,
+		dag:         graph.New[NodeID](),
+		nodes:       make(map[NodeID]*Node),
+		opNode:      make(map[model.OpID]NodeID),
+		writerOrder: make(map[model.Var][]NodeID),
+		initial:     sg.Initial(),
+	}
+	cg := ig.Conflict()
+	// Create nodes in a topological order of the conflict graph so writer
+	// lists come out in version order.
+	for _, op := range cg.Linearize() {
+		sn := sg.NodeOf(op.ID())
+		g.nextID++
+		n := &Node{
+			id:     g.nextID,
+			ops:    graph.NewSet(op.ID()),
+			writes: make(map[model.Var]model.Value, len(sn.Writes())),
+		}
+		for x, v := range sn.Writes() {
+			n.writes[x] = v
+			g.writerOrder[x] = append(g.writerOrder[x], n.id)
+		}
+		g.nodes[n.id] = n
+		g.dag.AddNode(n.id)
+		g.opNode[op.ID()] = n.id
+	}
+	idag := ig.DAG()
+	for _, u := range idag.Nodes() {
+		for _, v := range idag.Succs(u) {
+			g.dag.AddEdge(g.opNode[u], g.opNode[v])
+		}
+	}
+	return g
+}
+
+// WithInitialNode adds the minimum node representing the stable state
+// (Section 6: "stable state is represented by a single write graph node,
+// the initial or minimum node"). The node is installed, labels no
+// operations, writes the initial value of every variable the history
+// touches, and precedes every other node. It returns the node's id.
+func (g *Graph) WithInitialNode() NodeID {
+	if g.initialNode != 0 {
+		return g.initialNode
+	}
+	g.nextID++
+	n := &Node{
+		id:        g.nextID,
+		ops:       graph.NewSet[model.OpID](),
+		writes:    make(map[model.Var]model.Value),
+		installed: true,
+	}
+	for _, x := range g.ig.Conflict().Vars() {
+		n.writes[x] = g.initial.Get(x)
+		g.writerOrder[x] = append([]NodeID{n.id}, g.writerOrder[x]...)
+	}
+	g.nodes[n.id] = n
+	g.dag.AddNode(n.id)
+	for id := range g.nodes {
+		if id != n.id {
+			g.dag.AddEdge(n.id, id)
+		}
+	}
+	g.initialNode = n.id
+	return n.id
+}
+
+// InitialNode returns the minimum node's id, or 0 if none was created.
+func (g *Graph) InitialNode() NodeID { return g.initialNode }
+
+// Node returns the node with the given id, or nil.
+func (g *Graph) Node(id NodeID) *Node { return g.nodes[id] }
+
+// NodeOf returns the id of the node an operation currently labels, or 0.
+func (g *Graph) NodeOf(op model.OpID) NodeID { return g.opNode[op] }
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NodeIDs returns all node ids in ascending order.
+func (g *Graph) NodeIDs() []NodeID { return g.dag.Nodes() }
+
+// DAG returns the underlying DAG. Shared; do not modify.
+func (g *Graph) DAG() *graph.Graph[NodeID] { return g.dag }
+
+// InstalledSet returns the ids of installed nodes.
+func (g *Graph) InstalledSet() graph.Set[NodeID] {
+	out := graph.NewSet[NodeID]()
+	for id, n := range g.nodes {
+		if n.installed {
+			out.Add(id)
+		}
+	}
+	return out
+}
+
+// InstalledOps returns the operations labelling installed nodes.
+func (g *Graph) InstalledOps() graph.Set[model.OpID] {
+	out := graph.NewSet[model.OpID]()
+	for _, n := range g.nodes {
+		if n.installed {
+			for op := range n.ops {
+				out.Add(op)
+			}
+		}
+	}
+	return out
+}
+
+// UninstalledMinimal returns the uninstalled nodes all of whose direct
+// predecessors are installed: the nodes a cache manager may install next.
+func (g *Graph) UninstalledMinimal() []NodeID {
+	return g.dag.MinimalOutside(g.InstalledSet())
+}

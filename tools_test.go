@@ -1,0 +1,202 @@
+package redotheory_test
+
+// End-to-end tests of the command-line tools: build each binary once,
+// then drive it the way EXPERIMENTS.md and the README do.
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var buildOnce sync.Once
+var binDir string
+var buildErr error
+
+func builtTool(t *testing.T, name string) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		binDir, buildErr = os.MkdirTemp("", "redotheory-bin")
+		if buildErr != nil {
+			return
+		}
+		for _, tool := range []string{"redograph", "redosim", "redocheck"} {
+			cmd := exec.Command("go", "build", "-o", filepath.Join(binDir, tool), "./cmd/"+tool)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				buildErr = err
+				t.Logf("build %s: %s", tool, out)
+				return
+			}
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("building tools: %v", buildErr)
+	}
+	return filepath.Join(binDir, name)
+}
+
+func runTool(t *testing.T, name string, stdin string, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(builtTool(t, name), args...)
+	if stdin != "" {
+		cmd.Stdin = strings.NewReader(stdin)
+	}
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	err := cmd.Run()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("%s: %v\n%s", name, err, buf.String())
+	}
+	return buf.String(), code
+}
+
+func TestRedographFigures(t *testing.T) {
+	out, code := runTool(t, "redograph", "", "-figure", "5")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	for _, want := range []string{
+		"prefix counts: installation graph 5, conflict graph 4",
+		"dropped:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure 5 output missing %q", want)
+		}
+	}
+	out, code = runTool(t, "redograph", "", "-figure", "8", "-dot")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{
+		"write graph (same-variable writers collapsed):",
+		"legal install sequence:",
+		"digraph writegraph",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure 8 output missing %q", want)
+		}
+	}
+	out, code = runTool(t, "redograph", "", "-scenario", "H,J")
+	if code != 0 || !strings.Contains(out, "Section 5 (H,J)") {
+		t.Errorf("-scenario lookup failed (exit %d)", code)
+	}
+	if _, code := runTool(t, "redograph", "", "-scenario", "nonexistent"); code == 0 {
+		t.Error("unknown scenario accepted")
+	}
+	out, code = runTool(t, "redograph", "", "-all")
+	if code != 0 || !strings.Contains(out, "Scenario 1") || !strings.Contains(out, "Figure 8") {
+		t.Errorf("-all output incomplete (exit %d)", code)
+	}
+	if out, code = runTool(t, "redograph", "", "-figure", "99"); code == 0 {
+		t.Errorf("unknown figure accepted:\n%s", out)
+	}
+}
+
+func TestRedosimMatrix(t *testing.T) {
+	out, code := runTool(t, "redosim", "", "-matrix", "-ops", "15", "-pages", "5")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "RESULT: all methods recovered") {
+		t.Errorf("matrix did not pass:\n%s", out)
+	}
+	for _, m := range []string{"logical", "physical", "physiological", "physiological+dpt", "genlsn", "genlsn+mv"} {
+		if !strings.Contains(out, m) {
+			t.Errorf("matrix missing method %s", m)
+		}
+	}
+}
+
+func TestRedosimSplitLog(t *testing.T) {
+	out, code := runTool(t, "redosim", "", "-experiment", "splitlog")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "ratio") || !strings.Contains(out, "Section 6.4") {
+		t.Errorf("splitlog output unexpected:\n%s", out)
+	}
+}
+
+func TestRedosimWALFault(t *testing.T) {
+	out, code := runTool(t, "redosim", "", "-walfault", "-ops", "25", "-pages", "4")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "the checker catches write-ahead-log violations") {
+		t.Errorf("walfault output unexpected:\n%s", out)
+	}
+}
+
+func TestRedosimSingleRun(t *testing.T) {
+	out, code := runTool(t, "redosim", "", "-method", "genlsn", "-ops", "20", "-crash", "12")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	for _, want := range []string{"recovered      true", "invariant ok   true"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("single run missing %q:\n%s", want, out)
+		}
+	}
+	if _, code := runTool(t, "redosim", "", "-method", "bogus"); code == 0 {
+		t.Error("unknown method accepted")
+	}
+}
+
+func TestRedocheckRoundTrip(t *testing.T) {
+	example, code := runTool(t, "redocheck", "", "-example")
+	if code != 0 {
+		t.Fatalf("-example failed")
+	}
+	out, code := runTool(t, "redocheck", example, "-v", "-")
+	if code != 0 {
+		t.Fatalf("healthy trace rejected (exit %d):\n%s", code, out)
+	}
+	if !strings.Contains(out, "HOLDS") {
+		t.Errorf("output = %s", out)
+	}
+	// A violating trace exits 1 with a diagnosis.
+	bad := strings.Replace(example, `"installed": [2]`, `"installed": [1, 2]`, 1)
+	// Installing both with only x in the state: y missing but exposed.
+	out, code = runTool(t, "redocheck", bad, "-")
+	if code != 1 {
+		t.Fatalf("violating trace exit = %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "VIOLATED") {
+		t.Errorf("output = %s", out)
+	}
+	// Garbage input is a usage error.
+	if _, code := runTool(t, "redocheck", "not json", "-"); code == 0 {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestRedosimEmitTracePipesIntoRedocheck(t *testing.T) {
+	traceJSON, code := runTool(t, "redosim", "", "-emit-trace", "-method", "genlsn", "-ops", "20", "-crash", "14")
+	if code != 0 {
+		t.Fatalf("emit-trace exit %d:\n%s", code, traceJSON)
+	}
+	out, code := runTool(t, "redocheck", traceJSON, "-")
+	if code != 0 || !strings.Contains(out, "HOLDS") {
+		t.Errorf("piped trace verdict (exit %d): %s", code, out)
+	}
+	if _, code := runTool(t, "redosim", "", "-emit-trace"); code == 0 {
+		t.Error("emit-trace without -method/-crash accepted")
+	}
+}
+
+func TestToolsCleanup(t *testing.T) {
+	t.Cleanup(func() {
+		if binDir != "" {
+			os.RemoveAll(binDir)
+		}
+	})
+}
