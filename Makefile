@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short soak fuzz bench experiments examples tools cover clean
+.PHONY: all build vet test test-short race soak fuzz bench experiments examples tools campaign cover clean
 
 all: build vet test
 
@@ -17,6 +17,9 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./...
 
 soak:
 	$(GO) test -run Soak -v .
@@ -39,12 +42,16 @@ examples:
 	$(GO) run ./examples/crashsweep
 	$(GO) run ./examples/checker
 	$(GO) run ./examples/onlineaudit
+	$(GO) run ./examples/mediafault
 
 tools:
 	$(GO) run ./cmd/redograph -all
 	$(GO) run ./cmd/redosim -matrix
 	$(GO) run ./cmd/redosim -experiment splitlog
 	$(GO) run ./cmd/redosim -walfault
+
+campaign:
+	$(GO) run ./cmd/redosim -campaign
 
 cover:
 	$(GO) test -cover ./internal/...

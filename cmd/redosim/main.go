@@ -3,6 +3,7 @@
 //	redosim -matrix              # E9: methods × crash points, invariant audited at each
 //	redosim -experiment splitlog # E10: B-tree split log volume, physiological vs generalized
 //	redosim -walfault            # WAL fault injection: violations must be detected
+//	redosim -campaign            # E18: media faults × methods, zero silent corruption
 //	redosim -method genlsn -ops 50 -crash 30   # one run, verbose
 package main
 
@@ -15,6 +16,7 @@ import (
 
 	"redotheory/internal/btree"
 	"redotheory/internal/core"
+	"redotheory/internal/fault"
 	"redotheory/internal/graph"
 	"redotheory/internal/method"
 	"redotheory/internal/model"
@@ -49,6 +51,8 @@ func main() {
 	matrix := flag.Bool("matrix", false, "run the E9 crash matrix over all methods")
 	experiment := flag.String("experiment", "", "named experiment: splitlog")
 	walfault := flag.Bool("walfault", false, "run WAL fault injection")
+	campaign := flag.Bool("campaign", false, "run the E18 media-fault campaign over all methods and fault kinds")
+	seeds := flag.Int("seeds", 3, "with -campaign: number of seeds per cell")
 	methodName := flag.String("method", "", "single method to run")
 	nOps := flag.Int("ops", 40, "operations in the workload")
 	nPages := flag.Int("pages", 8, "pages in the database")
@@ -68,6 +72,8 @@ func main() {
 		os.Exit(2)
 	case *walfault:
 		runWALFault(*nOps, *nPages, *seed)
+	case *campaign:
+		runCampaign(*nOps, *nPages, *seeds)
 	case *emitTrace:
 		if *methodName == "" || *crash < 0 {
 			fmt.Fprintln(os.Stderr, "redosim: -emit-trace requires -method and -crash")
@@ -173,6 +179,73 @@ func runWALFault(nOps, nPages int, seed int64) {
 		os.Exit(1)
 	}
 	fmt.Println("RESULT: the checker catches write-ahead-log violations")
+}
+
+// runCampaign sweeps methods × fault kinds × crash points × seeds,
+// classifying every run; the headline assertion is zero silent
+// corruption across the whole matrix.
+func runCampaign(nOps, nPages, nSeeds int) {
+	methods := make([]sim.NamedFactory, len(factories))
+	for i, f := range factories {
+		methods[i] = sim.NamedFactory{Name: f.name, New: f.mk}
+	}
+	seeds := make([]int64, 0, max(nSeeds, 0))
+	for i := 0; i < nSeeds; i++ {
+		seeds = append(seeds, int64(i+1))
+	}
+	results, err := sim.Campaign(sim.CampaignConfig{
+		Methods:      methods,
+		NumOps:       nOps,
+		NumPages:     nPages,
+		CrashPoints:  []int{0, nOps / 2, nOps},
+		Seeds:        seeds,
+		TruncateProb: 0.5,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	sum := sim.SummarizeCampaign(results)
+
+	outcomes := []sim.Outcome{sim.RecoveredExact, sim.RecoveredDegraded,
+		sim.DetectedUnrecoverable, sim.FaultNotFired, sim.SilentCorruption}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "fault kind\texact\tdegraded\tunrecoverable\tnot fired\tSILENT")
+	for _, k := range fault.Kinds() {
+		by := sum.ByKind[k]
+		fmt.Fprintf(w, "%s", k)
+		for _, o := range outcomes {
+			fmt.Fprintf(w, "\t%d", by[o])
+		}
+		fmt.Fprintln(w)
+	}
+	w.Flush()
+
+	fmt.Println()
+	w = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "method\texact\tdegraded\tunrecoverable\tnot fired\tSILENT")
+	for _, m := range sum.Methods() {
+		by := sum.ByMethod[m]
+		fmt.Fprintf(w, "%s", m)
+		for _, o := range outcomes {
+			fmt.Fprintf(w, "\t%d", by[o])
+		}
+		fmt.Fprintln(w)
+	}
+	w.Flush()
+
+	fmt.Printf("\n%d runs: %d exact, %d degraded, %d unrecoverable, %d not fired, %d silent\n",
+		sum.Runs, sum.ByOutcome[sim.RecoveredExact], sum.ByOutcome[sim.RecoveredDegraded],
+		sum.ByOutcome[sim.DetectedUnrecoverable], sum.ByOutcome[sim.FaultNotFired], sum.Silent)
+	if sum.Silent != 0 {
+		for _, r := range results {
+			if r.Outcome == sim.SilentCorruption {
+				fmt.Printf("  SILENT: %s/%s crash=%d seed=%d\n", r.Method, r.Kind, r.CrashAfter, r.Seed)
+			}
+		}
+		fmt.Println("RESULT: FAIL — silent corruption detected")
+		os.Exit(1)
+	}
+	fmt.Println("RESULT: zero silent corruption — every media fault was repaired, degraded, or detected")
 }
 
 func runOne(name string, nOps, nPages, crash int, seed int64, online bool) {

@@ -494,3 +494,38 @@ func TestExperimentWALFaultDetection(t *testing.T) {
 		t.Error("WAL fault injection was inert")
 	}
 }
+
+func TestExperimentE18MediaFaultCampaign(t *testing.T) {
+	fmt.Println("E18: media-fault campaign (methods × fault kinds × crash points × seeds)")
+	methods := []sim.NamedFactory{
+		{Name: "logical", New: func(s *model.State) method.DB { return method.NewLogical(s) }},
+		{Name: "physical", New: func(s *model.State) method.DB { return method.NewPhysical(s) }},
+		{Name: "physiological", New: func(s *model.State) method.DB { return method.NewPhysiological(s) }},
+		{Name: "physiological+dpt", New: func(s *model.State) method.DB { return method.NewPhysiologicalDPT(s) }},
+		{Name: "genlsn", New: func(s *model.State) method.DB { return method.NewGenLSN(s) }},
+		{Name: "genlsn+mv", New: func(s *model.State) method.DB { return method.NewGenLSNMV(s) }},
+		{Name: "grouplsn", New: func(s *model.State) method.DB { return method.NewGroupLSN(s) }},
+	}
+	results, err := sim.Campaign(sim.CampaignConfig{
+		Methods: methods, NumOps: 14, NumPages: 4,
+		CrashPoints: []int{0, 7, 14}, Seeds: []int64{1, 2, 3}, TruncateProb: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sim.SummarizeCampaign(results)
+	fmt.Printf("  %d runs: %d exact, %d degraded, %d unrecoverable, %d not fired, %d SILENT\n",
+		sum.Runs, sum.ByOutcome[sim.RecoveredExact], sum.ByOutcome[sim.RecoveredDegraded],
+		sum.ByOutcome[sim.DetectedUnrecoverable], sum.ByOutcome[sim.FaultNotFired], sum.Silent)
+	if sum.Silent != 0 {
+		for _, r := range results {
+			if r.Outcome == sim.SilentCorruption {
+				t.Errorf("silent corruption: %s/%s crash=%d seed=%d", r.Method, r.Kind, r.CrashAfter, r.Seed)
+			}
+		}
+	}
+	degradedOrDetected := sum.ByOutcome[sim.RecoveredDegraded] + sum.ByOutcome[sim.DetectedUnrecoverable]
+	if degradedOrDetected == 0 {
+		t.Error("campaign exercised nothing: no run degraded or detected")
+	}
+}

@@ -105,6 +105,34 @@ func (d *PhysiologicalDPT) Analyze() core.AnalyzeFunc {
 	}
 }
 
+// CheckpointFloors returns the per-page installed-LSN floors the dirty
+// page table implies, which are stronger than the scalar bound: a page
+// absent from the table was clean at the checkpoint, so every record for
+// it below the checkpoint's position is installed; a page present with
+// recLSN r has everything below r installed. RedoTest skips on exactly
+// these claims without reading the page, so degraded recovery must be
+// able to audit them — a stable page below its floor is a lost write
+// that the skip would otherwise preserve silently.
+func (d *PhysiologicalDPT) CheckpointFloors() map[model.Var]core.LSN {
+	ck, ok := d.log.StableCheckpoint()
+	if !ok {
+		return nil
+	}
+	payload := ck.Payload.(dptCheckpoint)
+	floors := make(map[model.Var]core.LSN)
+	for _, r := range d.StableLog().Records() {
+		if r.LSN >= ck.AtLSN {
+			break
+		}
+		p := r.Op.Writes()[0]
+		rec, dirty := payload.dpt[p]
+		if (!dirty || r.LSN < rec) && r.LSN > floors[p] {
+			floors[p] = r.LSN
+		}
+	}
+	return floors
+}
+
 // RedoTest filters through the reconstructed table before falling back
 // to the page-LSN comparison.
 func (d *PhysiologicalDPT) RedoTest() core.RedoTest {

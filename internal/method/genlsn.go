@@ -154,6 +154,10 @@ func (d *GenLSN) RedoTest() core.RedoTest {
 // Analyze returns nil.
 func (d *GenLSN) Analyze() core.AnalyzeFunc { return nil }
 
+// CarefulWriteOrder is true: the read-write deps registered in Exec are
+// exactly the install-order contract RedoTest's re-reads rely on.
+func (d *GenLSN) CarefulWriteOrder() bool { return true }
+
 // Stats reports the method's counters.
 func (d *GenLSN) Stats() Stats { return d.stats() }
 

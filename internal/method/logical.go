@@ -60,8 +60,7 @@ func (d *Logical) FlushOne() bool { return false }
 // previous checkpoint.
 func (d *Logical) Checkpoint() error {
 	d.StageCheckpoint()
-	d.CompleteCheckpoint()
-	return nil
+	return d.CompleteCheckpoint()
 }
 
 // StageCheckpoint performs the first checkpoint phase: quiesce, force the
@@ -77,14 +76,20 @@ func (d *Logical) StageCheckpoint() {
 // CompleteCheckpoint performs the second phase: the atomic pointer swing
 // plus the checkpoint record, which together install every operation
 // logged so far and remove it from redo_set in one step — the
-// invariant-preserving atomicity of Section 6.1.
-func (d *Logical) CompleteCheckpoint() {
-	d.shadow.Swing()
+// invariant-preserving atomicity of Section 6.1. If an injected media
+// fault tears the swing, the checkpoint record is NOT written (the swing
+// never committed), the error is returned, and the previous checkpoint
+// remains the recovery base — exactly the System R abort path.
+func (d *Logical) CompleteCheckpoint() error {
+	if err := d.shadow.Swing(); err != nil {
+		return err
+	}
 	// The staged copies are now current; drop the cache so reads fall
 	// through to them.
 	d.cache.Crash()
 	d.log.AppendCheckpoint(d.log.NextLSN())
 	d.checkpoints++
+	return nil
 }
 
 // Crash discards the cache, the volatile log tail, and any staging-area

@@ -79,6 +79,29 @@ type DB interface {
 	// RecoveryBase returns the state the surviving log applies against:
 	// the initial state plus every log-truncated operation.
 	RecoveryBase() *model.State
+
+	// The degraded-recovery surface (media faults):
+
+	// Store exposes the stable page store, where integrity validation and
+	// quarantine repair happen.
+	Store() *storage.Store
+	// WAL exposes the log manager, where tail validation and truncation
+	// repair happen.
+	WAL() *wal.Manager
+	// RecoveryBaseLSNs returns, per page, the highest LSN folded into the
+	// recovery base by log truncation (0 when none): the LSN floor any
+	// surviving stable page must sit at or above.
+	RecoveryBaseLSNs() map[model.Var]core.LSN
+	// CheckpointBound returns the newest stable checkpoint's LSN bound
+	// (records below it are installed) and whether one exists.
+	CheckpointBound() (core.LSN, bool)
+	// CarefulWriteOrder reports whether the method's cache enforces
+	// read-write careful write ordering (Section 6.4): a page overwrite
+	// installs only after every page written by a reader of its previous
+	// version. Methods whose redo tests re-read the recovering state
+	// depend on it; degraded recovery audits it from the log only when
+	// the method claims it.
+	CarefulWriteOrder() bool
 }
 
 // Stats aggregates the counters the experiments report.
@@ -112,25 +135,67 @@ type base struct {
 	// initial state plus every log-truncated operation. Log truncation
 	// (TruncateCheckpointed) folds dropped records into it.
 	recoveryBase *model.State
+	// baseLSNs records, per page, the highest truncated-record LSN whose
+	// write is folded into recoveryBase. Degraded recovery uses it as the
+	// floor a stale (lost-write) stable page falls below.
+	baseLSNs map[model.Var]core.LSN
 }
 
 func newBase(initial *model.State) *base {
 	st := storage.FromState(initial)
 	lg := wal.NewManager()
-	return &base{store: st, log: lg, cache: cache.NewManager(st, lg), recoveryBase: initial.Clone()}
+	return &base{store: st, log: lg, cache: cache.NewManager(st, lg),
+		recoveryBase: initial.Clone(), baseLSNs: make(map[model.Var]core.LSN)}
 }
 
 // newBaseMV wires a multi-version cache (see cache.NewMVManager).
 func newBaseMV(initial *model.State) *base {
 	st := storage.FromState(initial)
 	lg := wal.NewManager()
-	return &base{store: st, log: lg, cache: cache.NewMVManager(st, lg), recoveryBase: initial.Clone()}
+	return &base{store: st, log: lg, cache: cache.NewMVManager(st, lg),
+		recoveryBase: initial.Clone(), baseLSNs: make(map[model.Var]core.LSN)}
 }
 
 // RecoveryBase returns (a clone of) the state the surviving log's
 // operations apply against: the original initial state plus every
 // truncated operation.
 func (b *base) RecoveryBase() *model.State { return b.recoveryBase.Clone() }
+
+// RecoveryBaseLSNs returns a copy of the per-page LSN floors implied by
+// log truncation.
+func (b *base) RecoveryBaseLSNs() map[model.Var]core.LSN {
+	out := make(map[model.Var]core.LSN, len(b.baseLSNs))
+	for x, lsn := range b.baseLSNs {
+		out[x] = lsn
+	}
+	return out
+}
+
+// Store exposes the stable page store for validation and repair.
+func (b *base) Store() *storage.Store { return b.store }
+
+// WAL exposes the log manager for validation and repair.
+func (b *base) WAL() *wal.Manager { return b.log }
+
+// CarefulWriteOrder is false for the base: most methods' redo tests
+// never read pages other than the one being redone.
+func (b *base) CarefulWriteOrder() bool { return false }
+
+// CheckpointBound returns the newest stable checkpoint's installed-below
+// LSN bound. Both checkpoint payload shapes carry one.
+func (b *base) CheckpointBound() (core.LSN, bool) {
+	ck, ok := b.log.StableCheckpoint()
+	if !ok {
+		return 0, false
+	}
+	switch payload := ck.Payload.(type) {
+	case core.LSN:
+		return payload, true
+	case dptCheckpoint:
+		return payload.bound, true
+	}
+	return 0, false
+}
 
 // TruncateCheckpointed drops the stable log records the newest stable
 // checkpoint covers, folding their effects into the recovery base state
@@ -139,18 +204,12 @@ func (b *base) RecoveryBase() *model.State { return b.recoveryBase.Clone() }
 // examine the part of the log following this checkpointed log prefix"
 // (Section 4), so the prefix itself can go.
 func (b *base) TruncateCheckpointed() (int, error) {
-	ck, ok := b.log.StableCheckpoint()
+	bound, ok := b.CheckpointBound()
 	if !ok {
+		if _, hasCk := b.log.StableCheckpoint(); hasCk {
+			return 0, fmt.Errorf("method: unrecognized checkpoint payload")
+		}
 		return 0, nil
-	}
-	var bound core.LSN
-	switch payload := ck.Payload.(type) {
-	case core.LSN:
-		bound = payload
-	case dptCheckpoint:
-		bound = payload.bound
-	default:
-		return 0, fmt.Errorf("method: unknown checkpoint payload %T", ck.Payload)
 	}
 	for _, r := range b.log.StableLog().Records() {
 		if r.LSN >= bound {
@@ -158,6 +217,9 @@ func (b *base) TruncateCheckpointed() (int, error) {
 		}
 		if _, err := b.recoveryBase.Apply(r.Op); err != nil {
 			return 0, fmt.Errorf("method: rebasing truncated op %s: %w", r.Op, err)
+		}
+		for _, x := range r.Op.Writes() {
+			b.baseLSNs[x] = r.LSN
 		}
 	}
 	return b.log.TruncateBefore(bound)

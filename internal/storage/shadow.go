@@ -36,15 +36,17 @@ func (s *ShadowTable) StagePage(id model.Var, p Page) {
 func (s *ShadowTable) Staged() int { return len(s.staging) }
 
 // Swing atomically replaces the current versions of every staged page
-// and empties the staging area.
-func (s *ShadowTable) Swing() {
-	for id, p := range s.staging {
-		s.store.pages[id] = p
-		s.store.PageWrites++
+// and empties the staging area. Under an armed torn-group fault the
+// swing can tear partway (the directory update caught mid-write); the
+// staging area is then left intact so a subsequent crash Discard models
+// the aborted installation, and the error reports the tear.
+func (s *ShadowTable) Swing() error {
+	if err := s.store.WriteGroup(s.staging); err != nil {
+		return err
 	}
-	s.store.GroupWrites++
 	s.staging = make(map[model.Var]Page)
 	s.Swings++
+	return nil
 }
 
 // Discard drops the staging area, as a crash before the swing does.

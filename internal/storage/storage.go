@@ -7,24 +7,83 @@
 //
 // Every page carries an LSN tag — "the LSN is usually on the page"
 // (Section 6.3) — naming the last operation whose effects the page
-// reflects. Fault injection can tear multi-page groups to demonstrate why
-// atomicity matters; the recovery-invariant checker catches the resulting
-// unexplainable states.
+// reflects, plus an integrity checksum over (page id, contents, LSN) so
+// media faults are detectable. The store is also the injection point for
+// the media-fault model of internal/fault: group writes can tear
+// (leaving an uncleared group-intent journal behind, the doublewrite
+// buffer's detection trick), single writes can be silently lost (a dead
+// sector revealed only at crash realization), and pages can bit-rot
+// (caught by the checksum). Clean crashes never need any of this; the
+// degraded-recovery path in internal/method consumes the detections.
 package storage
 
 import (
 	"fmt"
 	"sort"
+	"strconv"
 
 	"redotheory/internal/core"
+	"redotheory/internal/fault"
 	"redotheory/internal/model"
 )
 
-// Page is a stable page: contents plus the LSN tag of the last operation
-// that updated it.
+// Page is a stable page: contents, the LSN tag of the last operation
+// that updated it, and an integrity checksum sealed at write time.
 type Page struct {
 	Data model.Value
 	LSN  core.LSN
+	// Sum is the checksum over (page id, Data, LSN), computed by the
+	// store on every write; callers building Page values by hand need
+	// not fill it.
+	Sum uint64
+}
+
+// pageSum computes the integrity checksum of a page as stored under id.
+// Including the id catches misdirected writes as well as bit-rot.
+func pageSum(id model.Var, data model.Value, lsn core.LSN) uint64 {
+	return fault.Sum("page", string(id), string(data), strconv.FormatUint(uint64(lsn), 10))
+}
+
+// CorruptPageError reports a page whose contents no longer match its
+// checksum: bit-rot, a torn sector, or a misdirected write.
+type CorruptPageError struct {
+	Page model.Var
+}
+
+func (e *CorruptPageError) Error() string {
+	return fmt.Sprintf("storage: page %q is corrupt (checksum mismatch)", e.Page)
+}
+
+// TornGroupError reports a multi-page write group that applied only a
+// prefix of its pages.
+type TornGroupError struct {
+	Applied, Size int
+}
+
+func (e *TornGroupError) Error() string {
+	return fmt.Sprintf("storage: write group torn after %d of %d pages", e.Applied, e.Size)
+}
+
+// IsTorn reports whether err is (or wraps) a torn-group failure.
+func IsTorn(err error) bool {
+	for err != nil {
+		if _, ok := err.(*TornGroupError); ok {
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// lostWrite remembers the page version a dead sector will reveal at
+// crash time in place of everything written since.
+type lostWrite struct {
+	old     Page
+	existed bool
 }
 
 // Store is the stable page store. It survives Crash; everything volatile
@@ -34,6 +93,23 @@ type Store struct {
 	// tearAfter, when non-negative, makes the next WriteGroup apply only
 	// that many pages and then fail, simulating a torn multi-page write.
 	tearAfter int
+	// inj is the armed media-fault injector (nil when no fault armed).
+	inj *fault.Injector
+	// lost tracks pages whose writes a dead sector has swallowed; the
+	// pre-fault version resurfaces at RealizeCrashFaults.
+	lost map[model.Var]lostWrite
+	// intent is the group-write intent journal: the page set of an
+	// in-flight atomic group, recorded before the first page write and
+	// cleared after the last. A crash (or tear) leaves it pending, which
+	// is how recovery detects a torn group — the doublewrite-buffer /
+	// shadow-commit protocol in miniature.
+	intent []model.Var
+	// repairing is the durable repair-in-progress flag (a control-file
+	// dirty bit): set before degraded recovery rewrites pages, cleared
+	// after the last write. A crash mid-repair leaves it set, telling the
+	// rerun the page array is a half-rewritten mix that must not be
+	// trusted by fast-path recovery.
+	repairing bool
 	// PageWrites counts individual page writes, WriteGroups counts atomic
 	// group commits; benchmarks report both.
 	PageWrites  int
@@ -49,7 +125,7 @@ func NewStore() *Store {
 func FromState(s *model.State) *Store {
 	st := NewStore()
 	for _, x := range s.Vars() {
-		st.pages[x] = Page{Data: s.Get(x)}
+		st.pages[x] = Page{Data: s.Get(x), LSN: 0, Sum: pageSum(x, s.Get(x), 0)}
 	}
 	return st
 }
@@ -64,31 +140,62 @@ func (s *Store) Read(id model.Var) (Page, bool) {
 // PageLSN returns the LSN tag of a page (0 for missing pages).
 func (s *Store) PageLSN(id model.Var) core.LSN { return s.pages[id].LSN }
 
-// Write atomically replaces one page. Single-page atomicity is the
-// baseline guarantee real disks provide (modulo torn sector handling).
+// Write atomically replaces one page, sealing its checksum. Single-page
+// atomicity is the baseline guarantee real disks provide (modulo torn
+// sector handling, which the checksum catches).
 func (s *Store) Write(id model.Var, data model.Value, lsn core.LSN) {
-	s.pages[id] = Page{Data: data, LSN: lsn}
+	if s.inj != nil && s.inj.LoseWrite(string(id)) {
+		s.recordLost(id)
+	}
+	s.pages[id] = Page{Data: data, LSN: lsn, Sum: pageSum(id, data, lsn)}
 	s.PageWrites++
 }
 
+// recordLost captures the current version of a page the first time a
+// dead sector swallows a write to it. The new contents still appear in
+// the store — the controller's cache keeps up the illusion — until
+// RealizeCrashFaults reveals what actually reached the platter.
+func (s *Store) recordLost(id model.Var) {
+	if s.lost == nil {
+		s.lost = make(map[model.Var]lostWrite)
+	}
+	if _, done := s.lost[id]; done {
+		return
+	}
+	old, ok := s.pages[id]
+	s.lost[id] = lostWrite{old: old, existed: ok}
+}
+
 // WriteGroup atomically replaces a set of pages: either all writes apply
-// or (under injected tearing) a prefix does and an error is returned.
-// Logical recovery's checkpoint pointer swing and Section 5's
-// multi-variable installations use this.
+// or (under injected tearing) a prefix does and a TornGroupError is
+// returned. Logical recovery's checkpoint pointer swing and Section 5's
+// multi-variable installations use this. The group's page set is
+// journaled as an intent before the first write and cleared after the
+// last, so a torn group is detectable at recovery.
 func (s *Store) WriteGroup(pages map[model.Var]Page) error {
 	ids := make([]model.Var, 0, len(pages))
 	for id := range pages {
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	if keep, ok := s.inj.TearGroup(len(ids)); ok && s.tearAfter < 0 {
+		s.tearAfter = keep
+	}
+	s.intent = append([]model.Var(nil), ids...)
 	for i, id := range ids {
 		if s.tearAfter >= 0 && i == s.tearAfter {
 			s.tearAfter = -1
-			return fmt.Errorf("storage: write group torn after %d of %d pages", i, len(ids))
+			return &TornGroupError{Applied: i, Size: len(ids)}
 		}
-		s.pages[id] = pages[id]
+		p := pages[id]
+		if s.inj != nil && s.inj.LoseWrite(string(id)) {
+			s.recordLost(id)
+		}
+		p.Sum = pageSum(id, p.Data, p.LSN)
+		s.pages[id] = p
 		s.PageWrites++
 	}
+	s.intent = nil
 	s.GroupWrites++
 	return nil
 }
@@ -96,6 +203,131 @@ func (s *Store) WriteGroup(pages map[model.Var]Page) error {
 // TearNextGroup arms fault injection: the next WriteGroup applies only n
 // pages and then fails, leaving the group half-written.
 func (s *Store) TearNextGroup(n int) { s.tearAfter = n }
+
+// SetInjector attaches a media-fault injector; its armed faults apply to
+// subsequent writes. Pass nil to detach.
+func (s *Store) SetInjector(inj *fault.Injector) { s.inj = inj }
+
+// DisarmFaults clears every armed fault: the pending TearNextGroup and
+// the attached injector. Already-swallowed lost writes stay swallowed —
+// disarming stops future faults, it does not repair the platter.
+func (s *Store) DisarmFaults() {
+	s.tearAfter = -1
+	s.inj = nil
+}
+
+// ArmedFault describes the fault currently armed against the store, if
+// any: a pending TearNextGroup or an attached injector's kind.
+func (s *Store) ArmedFault() (string, bool) {
+	if s.tearAfter >= 0 {
+		return fmt.Sprintf("tear-next-group(keep %d)", s.tearAfter), true
+	}
+	if s.inj != nil && s.inj.Kind() != fault.None {
+		return string(s.inj.Kind()), true
+	}
+	return "", false
+}
+
+// RealizeCrashFaults applies the media decay a crash reveals: pages with
+// lost writes revert to their last version that actually reached the
+// platter. It fires the corresponding injector events, then detaches the
+// injector — decay happens once, and recovery's own writes must land.
+// It returns the ids of the reverted pages in sorted order.
+func (s *Store) RealizeCrashFaults() []model.Var {
+	var reverted []model.Var
+	for id, lw := range s.lost {
+		if lw.existed {
+			s.pages[id] = lw.old
+		} else {
+			delete(s.pages, id)
+		}
+		reverted = append(reverted, id)
+	}
+	sort.Slice(reverted, func(i, j int) bool { return reverted[i] < reverted[j] })
+	s.lost = nil
+	s.inj = nil
+	return reverted
+}
+
+// CorruptPage flips the contents of a page without updating its
+// checksum, simulating bit-rot on the medium. It reports whether the
+// page existed.
+func (s *Store) CorruptPage(id model.Var) bool {
+	p, ok := s.pages[id]
+	if !ok {
+		return false
+	}
+	if len(p.Data) == 0 {
+		p.Data = "\x7f"
+	} else {
+		b := []byte(p.Data)
+		b[0] ^= 0x40
+		p.Data = model.Value(b)
+	}
+	s.pages[id] = p
+	return true
+}
+
+// VerifyPage recomputes a page's checksum and returns a
+// CorruptPageError on mismatch (nil for missing pages: absence is not
+// corruption in the total-state model).
+func (s *Store) VerifyPage(id model.Var) error {
+	p, ok := s.pages[id]
+	if !ok {
+		return nil
+	}
+	if p.Sum != pageSum(id, p.Data, p.LSN) {
+		return &CorruptPageError{Page: id}
+	}
+	return nil
+}
+
+// VerifyAll checksums every materialized page and returns the corrupt
+// ids in sorted order.
+func (s *Store) VerifyAll() []model.Var {
+	var bad []model.Var
+	for id := range s.pages {
+		if s.VerifyPage(id) != nil {
+			bad = append(bad, id)
+		}
+	}
+	sort.Slice(bad, func(i, j int) bool { return bad[i] < bad[j] })
+	return bad
+}
+
+// BeginRepair durably marks a page-repair pass as in progress.
+func (s *Store) BeginRepair() { s.repairing = true }
+
+// EndRepair clears the repair-in-progress mark after the last repair
+// write has landed.
+func (s *Store) EndRepair() { s.repairing = false }
+
+// RepairPending reports whether a repair pass started but never
+// finished — the page array is a half-rewritten mix.
+func (s *Store) RepairPending() bool { return s.repairing }
+
+// PendingGroupIntent returns the page set of an atomic group write that
+// began but never completed (nil when none): the torn-group detector.
+func (s *Store) PendingGroupIntent() []model.Var {
+	if s.intent == nil {
+		return nil
+	}
+	return append([]model.Var(nil), s.intent...)
+}
+
+// ClearGroupIntent acknowledges a pending group intent after recovery
+// has repaired its pages.
+func (s *Store) ClearGroupIntent() { s.intent = nil }
+
+// PageIDs returns the ids of all materialized pages in sorted order.
+func (s *Store) PageIDs() []model.Var {
+	out := make([]model.Var, 0, len(s.pages))
+	for id := range s.pages {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
 
 // State projects the page contents as a model state (dropping LSN tags).
 func (s *Store) State() *model.State {
@@ -117,8 +349,9 @@ func (s *Store) LSNs() map[model.Var]core.LSN {
 	return out
 }
 
-// Clone returns an independent copy (used to snapshot the stable state
-// for checkers without letting recovery mutate the original).
+// Clone returns an independent copy of the page array (used to snapshot
+// the stable state for checkers without letting recovery mutate the
+// original). Armed faults and journals are not cloned.
 func (s *Store) Clone() *Store {
 	c := NewStore()
 	for id, p := range s.pages {

@@ -8,10 +8,23 @@ package wal
 
 import (
 	"fmt"
+	"strconv"
 
 	"redotheory/internal/core"
+	"redotheory/internal/fault"
 	"redotheory/internal/model"
 )
+
+// CorruptRecordError reports a stable log record whose contents no
+// longer match the checksum sealed at append time (log bit-rot, or the
+// unreadable half of a mid-record tear).
+type CorruptRecordError struct {
+	LSN core.LSN
+}
+
+func (e *CorruptRecordError) Error() string {
+	return fmt.Sprintf("wal: log record %d is corrupt (checksum mismatch)", e.LSN)
+}
 
 // Checkpoint is a checkpoint record: its own position in the log plus a
 // method-specific payload (a redo scan start, a staging-area pointer, a
@@ -37,10 +50,61 @@ type Manager struct {
 	bytesStable int
 	// Forces counts Flush calls that did work, a WAL-overhead metric.
 	Forces int
+
+	// Integrity metadata (the media-fault detection surface):
+
+	// sums holds each record's checksum, sealed at append time; a record
+	// whose recomputed checksum disagrees has rotted on the medium.
+	sums map[core.LSN]uint64
+	// chain holds the running chained checksum through each LSN
+	// (chain[n] folds record n's checksum into chain[n-1]), so a valid
+	// tail can prove where it ends.
+	chain map[core.LSN]uint64
+	// The tail anchor, re-sealed on every force: the chained checksum of
+	// the stable prefix plus the LSN it covers. After a crash the anchor
+	// is how recovery knows the stable tail's true end — records present
+	// but past a corrupt one are untrustworthy, and records missing below
+	// anchorLSN were torn away.
+	anchorLSN core.LSN
+	anchorSum uint64
+	// truncatedBefore is the lowest LSN the log is expected to still
+	// hold (records below it were legitimately dropped by checkpointed
+	// truncation, not by a fault).
+	truncatedBefore core.LSN
 }
 
 // NewManager returns an empty log manager.
-func NewManager() *Manager { return &Manager{log: core.NewLog()} }
+func NewManager() *Manager {
+	return &Manager{
+		log:             core.NewLog(),
+		sums:            make(map[core.LSN]uint64),
+		chain:           make(map[core.LSN]uint64),
+		truncatedBefore: 1,
+	}
+}
+
+// recordSum is the per-record integrity checksum: LSN plus the logged
+// operation's identity.
+func recordSum(r *core.Record) uint64 {
+	return fault.Sum("record", strconv.FormatUint(uint64(r.LSN), 10), r.Op.String())
+}
+
+// chainAt returns the chained checksum through lsn: the stored chain
+// entry, or the empty-log base when lsn predates every record.
+func (m *Manager) chainAt(lsn core.LSN) uint64 {
+	if s, ok := m.chain[lsn]; ok {
+		return s
+	}
+	return fault.Sum("chain-base")
+}
+
+// sealAnchor re-seals the tail anchor at the current stable LSN. Called
+// on every force, modelling the anchor riding in the same durable write
+// (a control-file update or the force's final sector).
+func (m *Manager) sealAnchor() {
+	m.anchorLSN = m.stableLSN
+	m.anchorSum = m.chainAt(m.stableLSN)
+}
 
 // Append logs an operation with a simulated record size in bytes and
 // returns its record. The record is volatile until flushed.
@@ -54,6 +118,11 @@ func (m *Manager) Append(op *model.Op, size int) *core.Record {
 		r.Labels = map[string]string{}
 	}
 	r.Labels["bytes"] = fmt.Sprint(size)
+	sum := recordSum(r)
+	m.sums[r.LSN] = sum
+	m.chain[r.LSN] = fault.Sum(
+		strconv.FormatUint(m.chainAt(r.LSN-1), 16),
+		strconv.FormatUint(sum, 16))
 	return r
 }
 
@@ -75,6 +144,7 @@ func (m *Manager) Flush() {
 	}
 	m.stableLSN = m.log.NextLSN() - 1
 	m.bytesStable = m.bytesTotal
+	m.sealAnchor()
 }
 
 // FlushTo forces the log through the given LSN (no-op if already stable).
@@ -90,6 +160,7 @@ func (m *Manager) FlushTo(lsn core.LSN) {
 	// Approximate stable bytes: proportional accounting is unnecessary;
 	// experiments flush whole-log before measuring.
 	m.bytesStable = m.bytesTotal
+	m.sealAnchor()
 }
 
 // RequireStable is the WAL gate: it returns an error if the record with
@@ -145,6 +216,9 @@ func (m *Manager) TruncateBefore(before core.LSN) (int, error) {
 	if before > ck.AtLSN {
 		return 0, fmt.Errorf("wal: cannot truncate through %d: newest stable checkpoint is at %d", before, ck.AtLSN)
 	}
+	if before > m.truncatedBefore {
+		m.truncatedBefore = before
+	}
 	return m.log.TruncateBefore(before), nil
 }
 
@@ -162,5 +236,13 @@ func (m *Manager) Crash() *core.Log {
 		}
 	}
 	m.checkpoints = kept
+	// The volatile tail's LSNs will be reissued; drop their integrity
+	// entries so reissued records seal fresh checksums.
+	for lsn := range m.sums {
+		if lsn > m.stableLSN {
+			delete(m.sums, lsn)
+			delete(m.chain, lsn)
+		}
+	}
 	return stable
 }
