@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race soak fuzz bench experiments examples tools campaign cover clean
+.PHONY: all build vet test test-short race soak fuzz bench bench-full experiments examples tools campaign cover clean
 
 all: build vet test
 
@@ -29,7 +29,14 @@ fuzz:
 	$(GO) test -fuzz FuzzInsertSequence -fuzztime 30s ./internal/btree/
 	$(GO) test -fuzz FuzzPageDecode -fuzztime 30s ./internal/btree/
 
+# bench runs the recovery benchmarks and the sequential-vs-parallel
+# comparison; redobench writes BENCH_parallel.json and fails when the
+# parallel engine breaks its perf contract (slower than sequential).
 bench:
+	$(GO) test -run xxx -bench 'Recovery|Campaign' -benchmem .
+	$(GO) run ./cmd/redobench -out BENCH_parallel.json
+
+bench-full:
 	$(GO) test -run xxx -bench . -benchmem .
 
 experiments:

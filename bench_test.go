@@ -294,6 +294,119 @@ func BenchmarkRecoveryGenLSNMV(b *testing.B) {
 	benchMethodRecovery(b, "genlsn+mv", func(s *model.State) method.DB { return method.NewGenLSNMV(s) })
 }
 
+// --- Parallel redo recovery: partitioned replay vs Figure 6 ---
+
+// heavyCrashedDB builds one crashed physiological DB: heavy single-page
+// operations over nPages pages, log forced, no page flushes — so the
+// whole history is uninstalled, the redo set is everything, and the
+// partition planner finds one component per page. rounds controls how
+// much recomputation each replayed operation costs.
+func heavyCrashedDB(tb testing.TB, nOps, nPages, rounds int) method.DB {
+	tb.Helper()
+	pages := workload.Pages(nPages)
+	s0 := workload.InitialState(pages)
+	ops := workload.HeavySinglePage(nOps, pages, rounds, 42)
+	db := method.NewPhysiological(s0)
+	for _, op := range ops {
+		if err := db.Exec(op); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	db.FlushLog()
+	db.Crash()
+	return db
+}
+
+// BenchmarkRecoveryParallel compares sequential Recover against
+// RecoverParallel at increasing worker counts on a multi-component
+// fixture. Recovery reads only fresh projections of the crashed DB
+// (StableState, StableLog), so one fixture serves every sub-benchmark.
+func BenchmarkRecoveryParallel(b *testing.B) {
+	db := heavyCrashedDB(b, 512, 16, 400)
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := method.Recover(db); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := method.RecoverParallel(db, method.ParallelOptions{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRecoveryParallelSkewed is the adversarial shape: a Zipf-hot
+// page concentrates most of the redo set into one component, bounding
+// the speedup by the critical path (Amdahl's law for redo).
+func BenchmarkRecoveryParallelSkewed(b *testing.B) {
+	pages := workload.Pages(16)
+	s0 := workload.InitialState(pages)
+	ops := workload.SinglePage(512, pages, 42, true)
+	db := method.NewPhysiological(s0)
+	for _, op := range ops {
+		if err := db.Exec(op); err != nil {
+			b.Fatal(err)
+		}
+	}
+	db.FlushLog()
+	db.Crash()
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := method.Recover(db); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("workers=4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := method.RecoverParallel(db, method.ParallelOptions{Workers: 4}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkCampaignParallel measures the fault campaign on a worker pool
+// against the sequential sweep of the same matrix.
+func BenchmarkCampaignParallel(b *testing.B) {
+	mkConfig := func(workers int) sim.CampaignConfig {
+		return sim.CampaignConfig{
+			Methods: []sim.NamedFactory{
+				{Name: "physiological", New: func(s *model.State) method.DB { return method.NewPhysiological(s) }},
+				{Name: "genlsn", New: func(s *model.State) method.DB { return method.NewGenLSN(s) }},
+			},
+			NumOps:       10,
+			NumPages:     4,
+			Seeds:        []int64{1, 2},
+			TruncateProb: 0.5,
+			Workers:      workers,
+		}
+	}
+	for _, workers := range []int{0, 4} {
+		name := "sequential"
+		if workers > 0 {
+			name = fmt.Sprintf("workers=%d", workers)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rs, err := sim.Campaign(mkConfig(workers))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if sim.SummarizeCampaign(rs).Silent != 0 {
+					b.Fatal("silent corruption in benchmark campaign")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkMVCacheDrain measures version-at-a-time draining of a cache
 // full of crosswise dependencies, the multi-version extension's worst
 // case.

@@ -1,0 +1,208 @@
+// Command redobench measures parallel redo recovery against the
+// sequential Figure 6 procedure on a large multi-component fixture and
+// writes the results as JSON (the BENCH_parallel.json artifact):
+//
+//	redobench -out BENCH_parallel.json
+//
+// The fixture is the heavy single-page workload: every page's operation
+// chain is an independent component of the redo partition, and each
+// replayed operation performs real recomputation, so the benchmark
+// exercises the partitioned engine rather than scheduling overhead.
+//
+// The command enforces the perf contract and exits non-zero when it is
+// broken:
+//
+//   - with ≥2 CPUs available, parallel recovery at the widest worker
+//     count must beat sequential recovery (speedup > 1);
+//   - on a single CPU, where no wall-clock speedup is physically
+//     possible, parallel recovery must stay within a small overhead
+//     tolerance of sequential — the engine may not make recovery worse
+//     on the hardware it happens to land on.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"redotheory/internal/method"
+	"redotheory/internal/workload"
+)
+
+// measurement is one benchmarked configuration.
+type measurement struct {
+	Name    string  `json:"name"`
+	Workers int     `json:"workers,omitempty"`
+	NsPerOp int64   `json:"ns_per_op"`
+	Runs    int     `json:"runs"`
+	Bytes   int64   `json:"bytes_per_op"`
+	Allocs  int64   `json:"allocs_per_op"`
+	Speedup float64 `json:"speedup_vs_sequential,omitempty"`
+}
+
+// report is the BENCH_parallel.json schema.
+type report struct {
+	GeneratedAt string `json:"generated_at"`
+	GoMaxProcs  int    `json:"gomaxprocs"`
+	NumCPU      int    `json:"num_cpu"`
+	Fixture     struct {
+		Ops        int    `json:"ops"`
+		Pages      int    `json:"pages"`
+		Rounds     int    `json:"compute_rounds"`
+		Method     string `json:"method"`
+		Components int    `json:"components"`
+		Largest    int    `json:"largest_component"`
+	} `json:"fixture"`
+	Sequential measurement   `json:"sequential"`
+	Parallel   []measurement `json:"parallel"`
+	Verdict    string        `json:"verdict"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_parallel.json", "output path for the JSON report")
+	nOps := flag.Int("ops", 512, "operations in the fixture log")
+	nPages := flag.Int("pages", 16, "pages (= independent components) in the fixture")
+	rounds := flag.Int("rounds", 400, "recomputation rounds per replayed operation")
+	tolerance := flag.Float64("tolerance", 1.25, "single-CPU gate: max allowed parallel/sequential time ratio")
+	flag.Parse()
+
+	pages := workload.Pages(*nPages)
+	s0 := workload.InitialState(pages)
+	ops := workload.HeavySinglePage(*nOps, pages, *rounds, 42)
+	db := method.NewPhysiological(s0)
+	for _, op := range ops {
+		if err := db.Exec(op); err != nil {
+			fatal(err)
+		}
+	}
+	db.FlushLog()
+	db.Crash()
+
+	// One recovery up front: sanity-check the fixture shape and the
+	// parallel engine's agreement with the sequential procedure before
+	// timing anything.
+	seq, err := method.Recover(db)
+	if err != nil {
+		fatal(err)
+	}
+	probe, err := method.RecoverParallel(db, method.ParallelOptions{Workers: 4})
+	if err != nil {
+		fatal(err)
+	}
+	if err := probe.SameOutcome(seq); err != nil {
+		fatal(fmt.Errorf("parallel recovery diverged from sequential: %w", err))
+	}
+
+	var rep report
+	rep.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	rep.GoMaxProcs = runtime.GOMAXPROCS(0)
+	rep.NumCPU = runtime.NumCPU()
+	rep.Fixture.Ops = *nOps
+	rep.Fixture.Pages = *nPages
+	rep.Fixture.Rounds = *rounds
+	rep.Fixture.Method = db.Name()
+	rep.Fixture.Components = probe.Plan.Components
+	rep.Fixture.Largest = probe.Plan.Largest
+
+	rep.Sequential = measure("sequential", 0, func() error {
+		_, err := method.Recover(db)
+		return err
+	})
+
+	workerCounts := []int{1, 2, 4, 8}
+	for _, w := range workerCounts {
+		w := w
+		m := measure(fmt.Sprintf("workers=%d", w), w, func() error {
+			_, err := method.RecoverParallel(db, method.ParallelOptions{Workers: w})
+			return err
+		})
+		m.Speedup = round3(float64(rep.Sequential.NsPerOp) / float64(m.NsPerOp))
+		rep.Parallel = append(rep.Parallel, m)
+	}
+
+	wide := rep.Parallel[len(rep.Parallel)-1]
+	fail := ""
+	if rep.GoMaxProcs >= 2 {
+		best := 0.0
+		for _, m := range rep.Parallel {
+			if m.Workers >= 4 && m.Speedup > best {
+				best = m.Speedup
+			}
+		}
+		if best <= 1.0 {
+			fail = fmt.Sprintf("parallel recovery at ≥4 workers is not faster than sequential (best speedup %.3f) on %d CPUs", best, rep.GoMaxProcs)
+		} else {
+			rep.Verdict = fmt.Sprintf("ok: best speedup %.3fx at ≥4 workers on %d CPUs", best, rep.GoMaxProcs)
+		}
+	} else {
+		ratio := float64(wide.NsPerOp) / float64(rep.Sequential.NsPerOp)
+		if ratio > *tolerance {
+			fail = fmt.Sprintf("single CPU: parallel recovery is %.2fx sequential, over the %.2fx tolerance", ratio, *tolerance)
+		} else {
+			rep.Verdict = fmt.Sprintf("ok: single CPU, parallel within %.2fx of sequential (no speedup possible)", ratio)
+		}
+	}
+	if fail != "" {
+		rep.Verdict = "FAIL: " + fail
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("fixture: %d ops over %d pages → %d components (largest %d)\n",
+		*nOps, *nPages, rep.Fixture.Components, rep.Fixture.Largest)
+	fmt.Printf("sequential: %s\n", fmtNs(rep.Sequential.NsPerOp))
+	for _, m := range rep.Parallel {
+		fmt.Printf("%-10s  %s  (%.3fx)\n", m.Name, fmtNs(m.NsPerOp), m.Speedup)
+	}
+	fmt.Printf("wrote %s\n%s\n", *out, rep.Verdict)
+	if fail != "" {
+		os.Exit(1)
+	}
+}
+
+// measure runs fn under the testing benchmark harness.
+func measure(name string, workers int, fn func() error) measurement {
+	var failed error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := fn(); err != nil {
+				failed = err
+				b.Fatal(err)
+			}
+		}
+	})
+	if failed != nil {
+		fatal(failed)
+	}
+	return measurement{
+		Name:    name,
+		Workers: workers,
+		NsPerOp: r.NsPerOp(),
+		Runs:    r.N,
+		Bytes:   r.AllocedBytesPerOp(),
+		Allocs:  r.AllocsPerOp(),
+	}
+}
+
+func round3(x float64) float64 { return float64(int64(x*1000+0.5)) / 1000 }
+
+func fmtNs(ns int64) string {
+	return time.Duration(ns).Round(time.Microsecond).String()
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "redobench: %v\n", err)
+	os.Exit(1)
+}

@@ -53,6 +53,7 @@ func main() {
 	walfault := flag.Bool("walfault", false, "run WAL fault injection")
 	campaign := flag.Bool("campaign", false, "run the E18 media-fault campaign over all methods and fault kinds")
 	seeds := flag.Int("seeds", 3, "with -campaign: number of seeds per cell")
+	workers := flag.Int("workers", 1, "worker pool size: -campaign runs cells concurrently; -matrix and -method also cross-check parallel partitioned recovery")
 	methodName := flag.String("method", "", "single method to run")
 	nOps := flag.Int("ops", 40, "operations in the workload")
 	nPages := flag.Int("pages", 8, "pages in the database")
@@ -64,7 +65,7 @@ func main() {
 
 	switch {
 	case *matrix:
-		runMatrix(*nOps, *nPages, *seed)
+		runMatrix(*nOps, *nPages, *seed, *workers)
 	case *experiment == "splitlog":
 		runSplitLog(*seed)
 	case *experiment != "":
@@ -73,7 +74,7 @@ func main() {
 	case *walfault:
 		runWALFault(*nOps, *nPages, *seed)
 	case *campaign:
-		runCampaign(*nOps, *nPages, *seeds)
+		runCampaign(*nOps, *nPages, *seeds, *workers)
 	case *emitTrace:
 		if *methodName == "" || *crash < 0 {
 			fmt.Fprintln(os.Stderr, "redosim: -emit-trace requires -method and -crash")
@@ -81,39 +82,56 @@ func main() {
 		}
 		emitCrashTrace(*methodName, *nOps, *nPages, *crash, *seed)
 	case *methodName != "":
-		runOne(*methodName, *nOps, *nPages, *crash, *seed, *online)
+		runOne(*methodName, *nOps, *nPages, *crash, *seed, *online, *workers)
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
 }
 
-func runMatrix(nOps, nPages int, seed int64) {
+func runMatrix(nOps, nPages int, seed int64, workers int) {
 	pages := workload.Pages(nPages)
 	s0 := workload.InitialState(pages)
+	parallel := workers > 1
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "method\tcrash points\trecovered\tinvariant held\treplayed ops\texamined records")
+	header := "method\tcrash points\trecovered\tinvariant held\treplayed ops\texamined records"
+	if parallel {
+		header += "\tparallel agreed"
+	}
+	fmt.Fprintln(w, header)
 	bad := false
 	for _, f := range factories {
 		ops, err := workload.ForMethod(f.name, nOps, pages, seed)
 		if err != nil {
 			fatal(err)
 		}
-		results, err := sim.Sweep(f.mk, ops, s0, seed)
+		sweepWorkers := 0
+		if parallel {
+			sweepWorkers = workers
+		}
+		results, err := sim.SweepParallel(f.mk, ops, s0, seed, sweepWorkers)
 		if err != nil {
 			fatal(err)
 		}
 		s := sim.Summarize(results)
-		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\n",
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d",
 			s.Method, s.Runs, s.Recovered, s.InvariantOK, s.Replayed, s.Examined)
-		if s.Recovered != s.Runs || s.InvariantOK != s.Runs {
+		if parallel {
+			fmt.Fprintf(w, "\t%d", s.ParallelOK)
+		}
+		fmt.Fprintln(w)
+		if s.Recovered != s.Runs || s.InvariantOK != s.Runs || s.ParallelOK != s.Runs {
 			bad = true
 		}
 	}
 	w.Flush()
 	if bad {
-		fmt.Println("\nRESULT: FAIL — some crash point did not recover or violated the invariant")
+		fmt.Println("\nRESULT: FAIL — some crash point did not recover, violated the invariant, or diverged under parallel replay")
 		os.Exit(1)
+	}
+	if parallel {
+		fmt.Printf("\nRESULT: all methods recovered at every crash point; parallel replay (%d workers) agreed everywhere\n", workers)
+		return
 	}
 	fmt.Println("\nRESULT: all methods recovered at every crash point with the invariant holding")
 }
@@ -184,7 +202,7 @@ func runWALFault(nOps, nPages int, seed int64) {
 // runCampaign sweeps methods × fault kinds × crash points × seeds,
 // classifying every run; the headline assertion is zero silent
 // corruption across the whole matrix.
-func runCampaign(nOps, nPages, nSeeds int) {
+func runCampaign(nOps, nPages, nSeeds, workers int) {
 	methods := make([]sim.NamedFactory, len(factories))
 	for i, f := range factories {
 		methods[i] = sim.NamedFactory{Name: f.name, New: f.mk}
@@ -200,6 +218,7 @@ func runCampaign(nOps, nPages, nSeeds int) {
 		CrashPoints:  []int{0, nOps / 2, nOps},
 		Seeds:        seeds,
 		TruncateProb: 0.5,
+		Workers:      workers,
 	})
 	if err != nil {
 		fatal(err)
@@ -248,7 +267,7 @@ func runCampaign(nOps, nPages, nSeeds int) {
 	fmt.Println("RESULT: zero silent corruption — every media fault was repaired, degraded, or detected")
 }
 
-func runOne(name string, nOps, nPages, crash int, seed int64, online bool) {
+func runOne(name string, nOps, nPages, crash int, seed int64, online bool, workers int) {
 	mk, ok := factory(name)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "redosim: unknown method %q\n", name)
@@ -260,17 +279,28 @@ func runOne(name string, nOps, nPages, crash int, seed int64, online bool) {
 	if err != nil {
 		fatal(err)
 	}
+	parWorkers := 0
+	if workers > 1 {
+		parWorkers = workers
+	}
 	if crash < 0 {
-		results, err := sim.Sweep(mk, ops, s0, seed)
+		results, err := sim.SweepParallel(mk, ops, s0, seed, parWorkers)
 		if err != nil {
 			fatal(err)
 		}
 		s := sim.Summarize(results)
 		fmt.Printf("%s: %d/%d crash points recovered, invariant held at %d/%d\n",
 			s.Method, s.Recovered, s.Runs, s.InvariantOK, s.Runs)
+		if parWorkers > 0 {
+			fmt.Printf("parallel replay (%d workers) agreed at %d/%d crash points\n",
+				parWorkers, s.ParallelOK, s.Runs)
+			if s.ParallelOK != s.Runs {
+				os.Exit(1)
+			}
+		}
 		return
 	}
-	res, err := sim.Run(mk, sim.Config{Ops: ops, Initial: s0, CrashAfter: crash, Seed: seed, OnlineAudit: online})
+	res, err := sim.Run(mk, sim.Config{Ops: ops, Initial: s0, CrashAfter: crash, Seed: seed, OnlineAudit: online, ParallelWorkers: parWorkers})
 	if err != nil {
 		fatal(err)
 	}
@@ -283,11 +313,15 @@ func runOne(name string, nOps, nPages, crash int, seed int64, online bool) {
 	fmt.Printf("replayed       %d (examined %d records)\n", res.Replayed, res.Examined)
 	fmt.Printf("recovered      %v\n", res.Recovered)
 	fmt.Printf("invariant ok   %v\n", res.InvariantOK)
+	if parWorkers > 0 {
+		fmt.Printf("parallel       agrees=%v components=%d workers=%d\n",
+			res.ParallelAgrees, res.ParallelComponents, parWorkers)
+	}
 	for _, v := range res.Violations {
 		fmt.Printf("  violation: %s\n", v)
 	}
 	fmt.Printf("stats          %+v\n", res.Stats)
-	if !res.Recovered || !res.InvariantOK {
+	if !res.Recovered || !res.InvariantOK || !res.ParallelAgrees {
 		os.Exit(1)
 	}
 }

@@ -102,14 +102,18 @@ type Checker struct {
 
 // NewChecker builds a checker for the history recorded in the log,
 // executed from the given initial state. The log supplies both the
-// operation set and (via Lemma 1) the conflict graph.
+// operation set and (via Lemma 1) the conflict graph; the conflict and
+// installation graphs come from DefaultGraphs, so repeated analysis of
+// the same log prefix (degraded recovery's audit passes, campaign
+// re-checks) reuses one construction. Only the state graph, which also
+// depends on the initial state, is built per checker.
 func NewChecker(log *Log, initial *model.State) (*Checker, error) {
-	cg := log.ConflictGraph()
+	cg, ig := DefaultGraphs.Graphs(log)
 	sg, err := stategraph.FromConflict(cg, initial)
 	if err != nil {
 		return nil, fmt.Errorf("core: building state graph: %w", err)
 	}
-	return &Checker{cg: cg, ig: install.FromConflict(cg), sg: sg}, nil
+	return &Checker{cg: cg, ig: ig, sg: sg}, nil
 }
 
 // Conflict returns the checker's conflict graph.

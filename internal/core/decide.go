@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"redotheory/internal/graph"
+	"redotheory/internal/model"
+)
+
+// RedoDecision is the outcome of running the recovery procedure's
+// decision phase alone: the log was scanned in LSN order, the analysis
+// function and redo test ran exactly as in Recover, but no operation was
+// applied. It is the input to the parallel replay engine, which replays
+// Replay's records partitioned into independent components.
+type RedoDecision struct {
+	// RedoSet is the set the redo test admitted.
+	RedoSet graph.Set[model.OpID]
+	// Installed is operations(log) − redo_set.
+	Installed graph.Set[model.OpID]
+	// Replay lists the admitted records in LSN order — the order
+	// sequential Recover would have applied them.
+	Replay []*Record
+	// Examined counts log records examined (loop iterations).
+	Examined int
+}
+
+// DecideRedo runs the decision phase of the recovery procedure of
+// Figure 6 without applying any operation: the same scan, the same
+// analysis calls, the same redo test invocations, against the given
+// state.
+//
+// Separating decision from application is what makes partitioned replay
+// possible, and it is faithful to sequential Recover exactly when the
+// redo test and analysis function are state-blind: they may read the
+// log, the analysis value, and any state captured at construction time
+// (the page-LSN tables every Section 6 method uses), but not the state
+// being rebuilt — in Recover that state mutates as replay progresses,
+// here it does not. Every method in internal/method satisfies this: the
+// paper's redo tests decide from LSN comparisons, not from recovering
+// values. The property tests in internal/method assert the resulting
+// equivalence against sequential Recover for every method.
+func DecideRedo(state *model.State, log *Log, checkpoint graph.Set[model.OpID], redo RedoTest, analyze AnalyzeFunc) *RedoDecision {
+	d := &RedoDecision{
+		RedoSet:   graph.NewSet[model.OpID](),
+		Installed: graph.NewSet[model.OpID](),
+	}
+	var analysis Analysis
+	for _, r := range log.Records() {
+		if checkpoint.Has(r.Op.ID()) {
+			d.Installed.Add(r.Op.ID())
+			continue
+		}
+		d.Examined++
+		if analyze != nil {
+			analysis = analyze(state, log, unrecoveredAfter(log, checkpoint, r.LSN), analysis)
+		}
+		if redo(r.Op, state, log, analysis) {
+			d.RedoSet.Add(r.Op.ID())
+			d.Replay = append(d.Replay, r)
+		} else {
+			d.Installed.Add(r.Op.ID())
+		}
+	}
+	return d
+}
+
+// SameOutcome reports whether two recovery results are equivalent: the
+// same final state, the same redo set, the same replay order, and the
+// same number of records examined. It is the oracle the parallel replay
+// engine is audited against — RecoverParallel must be indistinguishable
+// from sequential Recover — and returns a descriptive error naming the
+// first divergence found.
+func (r *Result) SameOutcome(o *Result) error {
+	if r == nil || o == nil {
+		return fmt.Errorf("core: comparing nil recovery results")
+	}
+	if !r.State.Equal(o.State) {
+		return fmt.Errorf("core: recovered states differ on %v", r.State.Diff(o.State))
+	}
+	if err := sameSet("redo", r.RedoSet, o.RedoSet); err != nil {
+		return err
+	}
+	if err := sameSet("installed", r.Installed, o.Installed); err != nil {
+		return err
+	}
+	if len(r.Replayed) != len(o.Replayed) {
+		return fmt.Errorf("core: replayed %d operations, other replayed %d", len(r.Replayed), len(o.Replayed))
+	}
+	for i := range r.Replayed {
+		if r.Replayed[i] != o.Replayed[i] {
+			return fmt.Errorf("core: replay order diverges at position %d: op %d vs op %d", i, r.Replayed[i], o.Replayed[i])
+		}
+	}
+	if r.Examined != o.Examined {
+		return fmt.Errorf("core: examined %d records, other examined %d", r.Examined, o.Examined)
+	}
+	return nil
+}
+
+// sameSet compares two op-id sets, naming a witness of the difference.
+func sameSet(what string, a, b graph.Set[model.OpID]) error {
+	if len(a) == len(b) {
+		ok := true
+		for id := range a {
+			if !b.Has(id) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return nil
+		}
+	}
+	var onlyA, onlyB []model.OpID
+	for id := range a {
+		if !b.Has(id) {
+			onlyA = append(onlyA, id)
+		}
+	}
+	for id := range b {
+		if !a.Has(id) {
+			onlyB = append(onlyB, id)
+		}
+	}
+	sort.Slice(onlyA, func(i, j int) bool { return onlyA[i] < onlyA[j] })
+	sort.Slice(onlyB, func(i, j int) bool { return onlyB[i] < onlyB[j] })
+	return fmt.Errorf("core: %s sets differ (only in first: %v, only in second: %v)", what, onlyA, onlyB)
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"testing"
+
+	"redotheory/internal/model"
+)
+
+func TestGraphCacheHitsOnSameLog(t *testing.T) {
+	c := NewGraphCache(4)
+	l := logOf(model.Incr(1, "x", 1), model.CopyPlus(2, "y", "x", 1))
+	cg1, ig1 := c.Graphs(l)
+	cg2, ig2 := c.Graphs(l)
+	if cg1 != cg2 || ig1 != ig2 {
+		t.Error("second lookup rebuilt the graphs")
+	}
+	if c.Hits != 1 || c.Misses != 1 {
+		t.Errorf("Hits = %d, Misses = %d, want 1 and 1", c.Hits, c.Misses)
+	}
+	if cg1.NumOps() != 2 {
+		t.Errorf("cached conflict graph has %d ops", cg1.NumOps())
+	}
+}
+
+func TestGraphCacheHitsAcrossSharedProjections(t *testing.T) {
+	// Prefix shares record pointers with its source, so a full-length
+	// prefix is the same key and a shorter prefix a different one.
+	c := NewGraphCache(4)
+	l := logOf(model.Incr(1, "x", 1), model.Incr(2, "x", 1), model.Incr(3, "x", 1))
+	cgFull, _ := c.Graphs(l)
+	cgSame, _ := c.Graphs(l.Prefix(3))
+	if cgFull != cgSame {
+		t.Error("identical record sequence missed the cache")
+	}
+	cgShort, _ := c.Graphs(l.Prefix(2))
+	if cgShort == cgFull {
+		t.Error("shorter prefix shared the full log's graphs")
+	}
+	if cgShort.NumOps() != 2 {
+		t.Errorf("prefix graph has %d ops, want 2", cgShort.NumOps())
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestGraphCacheKeyChangesOnAppend(t *testing.T) {
+	c := NewGraphCache(4)
+	l := logOf(model.Incr(1, "x", 1))
+	cg1, _ := c.Graphs(l)
+	l.Append(model.Incr(2, "x", 1))
+	cg2, _ := c.Graphs(l)
+	if cg1 == cg2 {
+		t.Error("appended log reused the stale cached graph")
+	}
+	if cg2.NumOps() != 2 {
+		t.Errorf("rebuilt graph has %d ops, want 2", cg2.NumOps())
+	}
+}
+
+func TestGraphCacheEvictsFIFO(t *testing.T) {
+	c := NewGraphCache(2)
+	l1 := logOf(model.Incr(1, "x", 1))
+	l2 := logOf(model.Incr(2, "x", 1))
+	l3 := logOf(model.Incr(3, "x", 1))
+	c.Graphs(l1)
+	c.Graphs(l2)
+	c.Graphs(l3) // evicts l1
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	misses := c.Misses
+	c.Graphs(l2) // still cached
+	if c.Misses != misses {
+		t.Error("l2 was evicted; FIFO should have evicted l1")
+	}
+	c.Graphs(l1) // rebuilt
+	if c.Misses != misses+1 {
+		t.Error("l1 should have been evicted and rebuilt")
+	}
+}
+
+func TestGraphCacheEmptyLog(t *testing.T) {
+	c := NewGraphCache(2)
+	cg1, _ := c.Graphs(NewLog())
+	cg2, _ := c.Graphs(NewLog())
+	if cg1 != cg2 {
+		t.Error("two empty logs should share the empty-key entry")
+	}
+	if cg1.NumOps() != 0 {
+		t.Errorf("empty log graph has %d ops", cg1.NumOps())
+	}
+}
+
+func TestGraphCacheConcurrentAccess(t *testing.T) {
+	c := NewGraphCache(8)
+	logs := []*Log{
+		logOf(model.Incr(1, "x", 1), model.Incr(2, "y", 1)),
+		logOf(model.Incr(3, "x", 1)),
+		logOf(model.Incr(4, "z", 2), model.CopyPlus(5, "x", "z", 1)),
+	}
+	done := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				l := logs[(w+i)%len(logs)]
+				cg, ig := c.Graphs(l)
+				if cg == nil || ig == nil {
+					t.Error("nil graph from cache")
+					return
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < 8; w++ {
+		<-done
+	}
+}

@@ -1,0 +1,206 @@
+package method
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"redotheory/internal/core"
+	"redotheory/internal/graph"
+	"redotheory/internal/model"
+	"redotheory/internal/partition"
+)
+
+// ParallelOptions configures RecoverParallel.
+type ParallelOptions struct {
+	// Workers is the worker-pool size. 0 (or negative) means
+	// runtime.GOMAXPROCS(0); 1 degenerates to sequential replay through
+	// the same code path.
+	Workers int
+	// Verify additionally runs sequential Recover on an independent
+	// clone and errors if the two outcomes differ — the equivalence
+	// oracle, for tests and paranoid callers.
+	Verify bool
+}
+
+// ParallelResult is a core recovery Result plus the plan that produced
+// it.
+type ParallelResult struct {
+	*core.Result
+	// Plan summarizes the partition (components, critical path).
+	Plan partition.Stats
+	// Workers is the pool size actually used.
+	Workers int
+}
+
+// RecoverParallel runs redo recovery with partitioned, concurrent
+// replay and produces the same outcome as sequential Recover (Figure 6):
+//
+//  1. Decision phase (sequential): scan the log exactly as Recover does,
+//     running the method's analysis function and redo test, but applying
+//     nothing. Sound because every method's redo test is state-blind —
+//     it decides from LSNs and the log, never from the state replay is
+//     rebuilding (core.DecideRedo documents the contract).
+//  2. Partition: fuse the admitted records into interference components
+//     (internal/partition). Components write disjoint variables and read
+//     no variable another component writes, so they commute; inside a
+//     component, LSN order is a topological order of the restricted
+//     conflict graph. This is the installation-graph concurrency argument
+//     of Theorem 3 extended with the write-read edges recomputation
+//     needs (see partition's package comment and DESIGN.md §8).
+//  3. Replay (parallel): a worker pool replays components concurrently.
+//     Each worker reads the shared stable state (never written during
+//     this phase) through a private overlay holding its component's
+//     writes, then the overlays — disjoint by construction — merge into
+//     the final state.
+//
+// Like Recover via the DB surface, it does not modify the crashed DB:
+// it works on the fresh projections StableState, StableLog, and a fresh
+// RedoTest return.
+func RecoverParallel(db DB, opts ParallelOptions) (*ParallelResult, error) {
+	state := db.StableState()
+	log := db.StableLog()
+	res, plan, err := recoverPartitioned(state, log, db.Checkpointed(), db.RedoTest(), db.Analyze(), opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	out := &ParallelResult{Result: res, Plan: plan.Stats(), Workers: poolSize(opts.Workers, len(plan.Components))}
+	if opts.Verify {
+		seq, err := core.Recover(db.StableState(), log, db.Checkpointed(), db.RedoTest(), db.Analyze())
+		if err != nil {
+			return nil, fmt.Errorf("method: sequential verification recovery: %w", err)
+		}
+		if err := res.SameOutcome(seq); err != nil {
+			return nil, fmt.Errorf("method: parallel recovery diverged from sequential: %w", err)
+		}
+	}
+	return out, nil
+}
+
+// recoverPartitioned is the engine: decide, partition, replay.
+func recoverPartitioned(state *model.State, log *core.Log, checkpoint graph.Set[model.OpID], redo core.RedoTest, analyze core.AnalyzeFunc, workers int) (*core.Result, *partition.Plan, error) {
+	decision := core.DecideRedo(state, log, checkpoint, redo, analyze)
+	plan := partition.FromRecords(decision.Replay)
+
+	if err := replayPlan(state, plan, workers); err != nil {
+		return nil, nil, err
+	}
+
+	res := &core.Result{
+		State:     state,
+		RedoSet:   decision.RedoSet,
+		Installed: decision.Installed,
+		Examined:  decision.Examined,
+	}
+	for _, r := range decision.Replay {
+		res.Replayed = append(res.Replayed, r.Op.ID())
+	}
+	return res, plan, nil
+}
+
+// poolSize bounds the worker count by the available parallelism and the
+// number of components.
+func poolSize(workers, components int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if components < 1 {
+		components = 1
+	}
+	if workers > components {
+		workers = components
+	}
+	return workers
+}
+
+// replayError carries a replay failure with the LSN it occurred at, so
+// concurrent failures resolve to the deterministic (smallest-LSN) one.
+type replayError struct {
+	lsn core.LSN
+	err error
+}
+
+// replayPlan applies the plan's components to the state, components
+// concurrently across a pool of workers, records inside a component in
+// LSN order. Reads go through a per-component overlay over the shared
+// base state; the base is never mutated until every worker has finished,
+// then the disjoint overlays merge in.
+func replayPlan(state *model.State, plan *partition.Plan, workers int) error {
+	if plan.Ops == 0 {
+		return nil
+	}
+	workers = poolSize(workers, len(plan.Components))
+
+	overlays := make([]model.WriteSet, len(plan.Components))
+	work := make(chan int)
+	errs := make(chan replayError, len(plan.Components))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ci := range work {
+				overlay, err := replayComponent(state, plan.Components[ci])
+				if err.err != nil {
+					errs <- err
+					continue
+				}
+				overlays[ci] = overlay
+			}
+		}()
+	}
+	for ci := range plan.Components {
+		work <- ci
+	}
+	close(work)
+	wg.Wait()
+	close(errs)
+
+	var first *replayError
+	for e := range errs {
+		e := e
+		if first == nil || e.lsn < first.lsn {
+			first = &e
+		}
+	}
+	if first != nil {
+		return first.err
+	}
+
+	// Merge: overlays write disjoint variables, so any order works; use
+	// component order for determinism anyway.
+	for _, overlay := range overlays {
+		for x, v := range overlay {
+			state.Set(x, v)
+		}
+	}
+	return nil
+}
+
+// replayComponent recomputes a component's operations in LSN order
+// against the shared base state plus the component's own accumulated
+// writes. The base is only read — concurrent with other workers' reads —
+// and no variable this component reads is written by any other component
+// (the partition invariant), so every read observes exactly the value
+// sequential replay would have observed.
+func replayComponent(base *model.State, c *partition.Component) (model.WriteSet, replayError) {
+	overlay := make(model.WriteSet)
+	for _, r := range c.Records {
+		reads := make(model.ReadSet, len(r.Op.Reads()))
+		for _, x := range r.Op.Reads() {
+			if v, ok := overlay[x]; ok {
+				reads[x] = v
+			} else {
+				reads[x] = base.Get(x)
+			}
+		}
+		ws, err := r.Op.Compute(reads)
+		if err != nil {
+			return nil, replayError{lsn: r.LSN, err: fmt.Errorf("core: replaying %s: %w", r.Op, err)}
+		}
+		for x, v := range ws {
+			overlay[x] = v
+		}
+	}
+	return overlay, replayError{}
+}

@@ -1,0 +1,245 @@
+// Package partition plans parallel redo replay. The paper's installation
+// graph (Section 3.1, Theorem 3) is a dependency order for recovery:
+// operations with no path between them in the graphs governing replay may
+// be redone in either order, so they may be redone concurrently. This
+// package takes the redo set a recovery method's decision phase chose —
+// the uninstalled suffix of the log — and splits it into independent
+// components that a worker pool can replay against disjoint slices of the
+// state, with a schedule inside each component that preserves the
+// sequential procedure's order.
+//
+// # Which graph partitions replay
+//
+// The installation graph alone is not enough for methods that replay by
+// recomputation. It drops pure write-read edges, and a write-read edge is
+// exactly a replayed reader's data dependency on a replayed writer: if A
+// writes x and B recomputes from x, replaying B before A feeds B a stale
+// read. Blind-write methods (physical logging) have no read sets, so for
+// them the restriction of the installation graph and of the conflict
+// graph coincide; reading methods (logical, generalized LSN) need the
+// write-read and read-write edges kept — the same careful-write-order
+// story as Section 6.4, where a reader's page must install before its
+// read page is overwritten. So the planner partitions by the conflict
+// graph, of which the installation graph's components are the blind-write
+// special case. ConflictComponents exposes that graph-theoretic view.
+//
+// # The schedule the planner actually builds
+//
+// Components computes the same partition without building a graph at
+// all, from interference alone: for every variable written by some
+// replayed operation, all replayed operations accessing that variable
+// are fused into one component. Under the Recovery Invariant the two
+// constructions agree (TestPlanMatchesConflictComponents asserts it):
+// the invariant makes the installed set an installation-graph prefix, so
+// the replayed writers of a variable are a contiguous suffix of its
+// version chain, chained together by write-write edges, and every
+// replayed reader attaches to that chain by a direct write-read or
+// read-write edge. The interference form is preferred because it is
+// O(accesses) with no graph build, and because it stays safe even on
+// out-of-contract inputs (a faulted run whose installed set is not a
+// prefix): components never share a written variable, so partitioned
+// replay equals sequential replay unconditionally — both may then be
+// wrong, but identically wrong, which is what lets the campaign's
+// corruption oracle treat parallel and sequential recovery as the same
+// procedure.
+//
+// Within a component, records keep LSN order. The log order is
+// consistent with the conflict order (Section 4.1), so LSN order is a
+// topological order of the restricted conflict graph — the canonical
+// schedule Lemma 1 linearization licenses.
+package partition
+
+import (
+	"sort"
+
+	"redotheory/internal/conflict"
+	"redotheory/internal/core"
+	"redotheory/internal/graph"
+	"redotheory/internal/install"
+	"redotheory/internal/model"
+)
+
+// Component is one independently replayable unit: records in LSN order
+// whose written variables no other component touches.
+type Component struct {
+	// Records in LSN order (the component's topological schedule).
+	Records []*core.Record
+	// Writes is the set of variables the component's operations write:
+	// its slice of the state. Disjoint across components by construction.
+	Writes graph.Set[model.Var]
+}
+
+// Plan is a parallel replay schedule for one redo set.
+type Plan struct {
+	// Components in deterministic order (by first record LSN).
+	Components []*Component
+	// Ops is the total number of records scheduled.
+	Ops int
+}
+
+// MaxComponentLen returns the longest component's length — the critical
+// path of the plan in records (0 for an empty plan).
+func (p *Plan) MaxComponentLen() int {
+	m := 0
+	for _, c := range p.Components {
+		if len(c.Records) > m {
+			m = len(c.Records)
+		}
+	}
+	return m
+}
+
+// FromLog plans the replay of the given redo set out of the log: the
+// records whose operation ids are in the set, fused into interference
+// components (see the package comment) and scheduled in LSN order.
+func FromLog(log *core.Log, redo graph.Set[model.OpID]) *Plan {
+	var records []*core.Record
+	for _, r := range log.Records() {
+		if redo.Has(r.Op.ID()) {
+			records = append(records, r)
+		}
+	}
+	return FromRecords(records)
+}
+
+// FromRecords plans the replay of the given records, which must be in
+// LSN order (as a log scan yields them).
+func FromRecords(records []*core.Record) *Plan {
+	uf := newUnionFind(len(records))
+	// Two operations interfere iff they access a common variable that at
+	// least one of them writes; union-find fuses the transitive closure.
+	// writerOf[x] is a representative index once x has a scheduled
+	// writer; pending[x] collects readers seen before any writer — they
+	// must observe the pre-write value, so the first writer fuses with
+	// all of them. Readers of a variable no scheduled operation writes
+	// stay unconstrained: the variable is stable throughout replay.
+	writerOf := make(map[model.Var]int)
+	pending := make(map[model.Var][]int)
+	for i, r := range records {
+		for _, x := range r.Op.Writes() {
+			if w, ok := writerOf[x]; ok {
+				uf.union(w, i)
+			} else {
+				writerOf[x] = i
+				for _, reader := range pending[x] {
+					uf.union(reader, i)
+				}
+				delete(pending, x)
+			}
+		}
+		for _, x := range r.Op.Reads() {
+			if w, ok := writerOf[x]; ok {
+				uf.union(w, i)
+			} else {
+				pending[x] = append(pending[x], i)
+			}
+		}
+	}
+
+	byRoot := make(map[int]*Component)
+	var order []int
+	for i, r := range records {
+		root := uf.find(i)
+		c, ok := byRoot[root]
+		if !ok {
+			c = &Component{Writes: graph.NewSet[model.Var]()}
+			byRoot[root] = c
+			order = append(order, root)
+		}
+		c.Records = append(c.Records, r) // i ascends, so LSN order is kept
+		for _, x := range r.Op.Writes() {
+			c.Writes.Add(x)
+		}
+	}
+	plan := &Plan{Ops: len(records)}
+	// order holds roots by first appearance, i.e. by first record LSN.
+	for _, root := range order {
+		plan.Components = append(plan.Components, byRoot[root])
+	}
+	return plan
+}
+
+// ConflictComponents returns the weakly-connected components of the
+// conflict graph restricted to the given operation set: the
+// graph-theoretic statement of which replayed operations may not be
+// reordered. Component members are sorted by operation id, components by
+// smallest member. The planner's interference components coincide with
+// these whenever the installed complement is an installation-graph
+// prefix (the Recovery Invariant); tests assert that agreement.
+func ConflictComponents(cg *conflict.Graph, within graph.Set[model.OpID]) [][]model.OpID {
+	return cg.DAG().WeakComponents(within)
+}
+
+// InstallComponents is ConflictComponents on the installation graph: the
+// partition Theorem 3 licenses for blind-write histories, where no
+// write-read edges exist to drop. For histories with readers it may
+// split a replayed reader from its replayed writer and is therefore not
+// a valid replay partition on its own; it exists to measure (and let
+// tests demonstrate) exactly that gap.
+func InstallComponents(ig *install.Graph, within graph.Set[model.OpID]) [][]model.OpID {
+	return ig.DAG().WeakComponents(within)
+}
+
+// Stats summarizes a plan for reporting.
+type Stats struct {
+	Ops        int
+	Components int
+	// Largest is the longest component (the critical path).
+	Largest int
+}
+
+// Stats returns the plan's summary numbers.
+func (p *Plan) Stats() Stats {
+	return Stats{Ops: p.Ops, Components: len(p.Components), Largest: p.MaxComponentLen()}
+}
+
+// unionFind is a standard disjoint-set forest over record indexes with
+// path halving and union by size.
+type unionFind struct {
+	parent []int
+	size   []int
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), size: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+		uf.size[i] = 1
+	}
+	return uf
+}
+
+func (uf *unionFind) find(i int) int {
+	for uf.parent[i] != i {
+		uf.parent[i] = uf.parent[uf.parent[i]]
+		i = uf.parent[i]
+	}
+	return i
+}
+
+func (uf *unionFind) union(a, b int) {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return
+	}
+	if uf.size[ra] < uf.size[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	uf.size[ra] += uf.size[rb]
+}
+
+// sortIDs sorts operation ids ascending (test helper shared via export).
+func sortIDs(ids []model.OpID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}
+
+// IDs returns the component's operation ids in ascending order.
+func (c *Component) IDs() []model.OpID {
+	out := make([]model.OpID, len(c.Records))
+	for i, r := range c.Records {
+		out[i] = r.Op.ID()
+	}
+	sortIDs(out)
+	return out
+}

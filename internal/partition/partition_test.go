@@ -1,0 +1,316 @@
+package partition_test
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"redotheory/internal/core"
+	"redotheory/internal/graph"
+	"redotheory/internal/install"
+	"redotheory/internal/model"
+	"redotheory/internal/partition"
+)
+
+func logOf(ops ...*model.Op) *core.Log {
+	l := core.NewLog()
+	for _, o := range ops {
+		l.Append(o)
+	}
+	return l
+}
+
+func allOps(l *core.Log) graph.Set[model.OpID] {
+	s := graph.NewSet[model.OpID]()
+	for _, r := range l.Records() {
+		s.Add(r.Op.ID())
+	}
+	return s
+}
+
+func componentIDs(p *partition.Plan) [][]model.OpID {
+	out := make([][]model.OpID, len(p.Components))
+	for i, c := range p.Components {
+		out[i] = c.IDs()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+func rw(id model.OpID, reads, writes []model.Var) *model.Op {
+	return model.ReadWrite(id, "op", reads, writes)
+}
+
+func v(s string) model.Var { return model.Var(s) }
+
+func TestPlanSplitsIndependentChains(t *testing.T) {
+	// Two per-variable chains and one isolated blind write.
+	l := logOf(
+		rw(1, nil, []model.Var{v("x")}),
+		rw(2, nil, []model.Var{v("y")}),
+		rw(3, []model.Var{v("x")}, []model.Var{v("x")}),
+		rw(4, []model.Var{v("y")}, []model.Var{v("y")}),
+		rw(5, nil, []model.Var{v("z")}),
+	)
+	p := partition.FromLog(l, allOps(l))
+	want := [][]model.OpID{{1, 3}, {2, 4}, {5}}
+	if got := componentIDs(p); !reflect.DeepEqual(got, want) {
+		t.Errorf("components = %v, want %v", got, want)
+	}
+	if p.Ops != 5 || p.MaxComponentLen() != 2 {
+		t.Errorf("Ops = %d, MaxComponentLen = %d", p.Ops, p.MaxComponentLen())
+	}
+	st := p.Stats()
+	if st.Ops != 5 || st.Components != 3 || st.Largest != 2 {
+		t.Errorf("Stats = %+v", st)
+	}
+}
+
+func TestPlanFusesAllPendingReadersWithFirstWriter(t *testing.T) {
+	// Two readers of x appear before x's first scheduled writer: both must
+	// observe the pre-write value, so both fuse with the writer — and
+	// transitively with each other.
+	l := logOf(
+		rw(1, []model.Var{v("x")}, []model.Var{v("a")}),
+		rw(2, []model.Var{v("x")}, []model.Var{v("b")}),
+		rw(3, nil, []model.Var{v("x")}),
+	)
+	p := partition.FromLog(l, allOps(l))
+	want := [][]model.OpID{{1, 2, 3}}
+	if got := componentIDs(p); !reflect.DeepEqual(got, want) {
+		t.Errorf("components = %v, want %v", got, want)
+	}
+}
+
+func TestPlanReadersOfStableVariableStayIndependent(t *testing.T) {
+	// No scheduled operation writes q, so q is stable throughout replay
+	// and its readers need no mutual ordering.
+	l := logOf(
+		rw(1, []model.Var{v("q")}, []model.Var{v("a")}),
+		rw(2, []model.Var{v("q")}, []model.Var{v("b")}),
+	)
+	p := partition.FromLog(l, allOps(l))
+	want := [][]model.OpID{{1}, {2}}
+	if got := componentIDs(p); !reflect.DeepEqual(got, want) {
+		t.Errorf("components = %v, want %v", got, want)
+	}
+}
+
+func TestPlanKeepsLSNOrderWithinComponents(t *testing.T) {
+	l := logOf(
+		rw(1, nil, []model.Var{v("x")}),
+		rw(2, nil, []model.Var{v("y")}),
+		rw(3, []model.Var{v("x")}, []model.Var{v("x")}),
+		rw(4, []model.Var{v("x"), v("y")}, []model.Var{v("y")}),
+	)
+	p := partition.FromLog(l, allOps(l))
+	if len(p.Components) != 1 {
+		t.Fatalf("expected one fused component, got %d", len(p.Components))
+	}
+	var lsns []core.LSN
+	for _, r := range p.Components[0].Records {
+		lsns = append(lsns, r.LSN)
+	}
+	if !sort.SliceIsSorted(lsns, func(i, j int) bool { return lsns[i] < lsns[j] }) {
+		t.Errorf("component records out of LSN order: %v", lsns)
+	}
+}
+
+func TestPlanFiltersByRedoSet(t *testing.T) {
+	l := logOf(
+		rw(1, nil, []model.Var{v("x")}),
+		rw(2, []model.Var{v("x")}, []model.Var{v("x")}),
+		rw(3, []model.Var{v("x")}, []model.Var{v("x")}),
+	)
+	// Only op 3 is uninstalled: x's earlier writers are stable, so the
+	// plan is a single singleton component.
+	p := partition.FromLog(l, graph.NewSet[model.OpID](3))
+	want := [][]model.OpID{{3}}
+	if got := componentIDs(p); !reflect.DeepEqual(got, want) {
+		t.Errorf("components = %v, want %v", got, want)
+	}
+	if p.Ops != 1 {
+		t.Errorf("Ops = %d, want 1", p.Ops)
+	}
+}
+
+func TestPlanWritesAreDisjoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	l := randomLog(rng, 40, 6)
+	p := partition.FromLog(l, allOps(l))
+	seen := make(map[model.Var]int)
+	for ci, c := range p.Components {
+		for x := range c.Writes {
+			if prev, dup := seen[x]; dup {
+				t.Fatalf("variable %s written by components %d and %d", x, prev, ci)
+			}
+			seen[x] = ci
+		}
+	}
+}
+
+// randomLog builds a log of n operations with random read and write sets
+// over nv variables.
+func randomLog(rng *rand.Rand, n, nv int) *core.Log {
+	vars := make([]model.Var, nv)
+	for i := range vars {
+		vars[i] = model.Var(string(rune('a' + i)))
+	}
+	l := core.NewLog()
+	for i := 1; i <= n; i++ {
+		var reads, writes []model.Var
+		for _, x := range vars {
+			if rng.Float64() < 0.25 {
+				reads = append(reads, x)
+			}
+			if rng.Float64() < 0.2 {
+				writes = append(writes, x)
+			}
+		}
+		if len(writes) == 0 { // every logged operation changes state
+			writes = append(writes, vars[rng.Intn(nv)])
+		}
+		l.Append(rw(model.OpID(i), reads, writes))
+	}
+	return l
+}
+
+// TestPlanMatchesConflictComponents is the agreement the package comment
+// promises: when the installed complement is an installation-graph
+// prefix (the Recovery Invariant's shape), the planner's interference
+// components equal the weakly-connected components of the conflict graph
+// restricted to the redo set.
+func TestPlanMatchesConflictComponents(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		l := randomLog(rng, 5+rng.Intn(30), 2+rng.Intn(6))
+		cg := l.ConflictGraph()
+		ig := install.FromConflict(cg)
+
+		// In contract: installed = a prefix of some installation-graph
+		// linearization, redo = the rest.
+		topo, err := ig.DAG().TopoOrder()
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := rng.Intn(len(topo) + 1)
+		redo := graph.NewSet[model.OpID](topo[k:]...)
+
+		got := componentIDs(partition.FromLog(l, redo))
+		want := partition.ConflictComponents(cg, redo)
+		if len(want) == 0 {
+			want = [][]model.OpID{}
+		}
+		if len(got) == 0 {
+			got = [][]model.OpID{}
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: plan components %v != conflict components %v", trial, got, want)
+		}
+	}
+}
+
+// TestPlanCoarsensConflictComponentsOutOfContract: on an arbitrary redo
+// set — a faulted run whose installed set is no installation-graph
+// prefix — the two constructions can differ, because conflict edges only
+// chain consecutive accessors and an installed middle writer breaks the
+// restricted chain. The plan errs on the safe side: it only ever fuses
+// more (every restricted conflict component lies inside one plan
+// component), so partitioned replay still equals sequential replay.
+func TestPlanCoarsensConflictComponentsOutOfContract(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 60; trial++ {
+		l := randomLog(rng, 5+rng.Intn(30), 2+rng.Intn(6))
+		cg := l.ConflictGraph()
+		redo := graph.NewSet[model.OpID]()
+		for _, r := range l.Records() {
+			if rng.Float64() < 0.5 {
+				redo.Add(r.Op.ID())
+			}
+		}
+
+		planOf := make(map[model.OpID]int)
+		for ci, c := range partition.FromLog(l, redo).Components {
+			for _, id := range c.IDs() {
+				planOf[id] = ci
+			}
+		}
+		for _, cc := range partition.ConflictComponents(cg, redo) {
+			for _, id := range cc[1:] {
+				if planOf[id] != planOf[cc[0]] {
+					t.Fatalf("trial %d: conflict component %v split across plan components", trial, cc)
+				}
+			}
+		}
+	}
+}
+
+// TestPlanCoarserThanInstallOnChainGap pins the concrete out-of-contract
+// shape down: writers W1→W2→W3 of x with W2 installed. The restricted
+// conflict graph has no W1–W3 edge (WW edges chain consecutive writers
+// only), yet both replay against x, so the plan must fuse them.
+func TestPlanCoarserThanInstallOnChainGap(t *testing.T) {
+	l := logOf(
+		rw(1, nil, []model.Var{v("x")}),
+		rw(2, nil, []model.Var{v("x")}),
+		rw(3, nil, []model.Var{v("x")}),
+	)
+	redo := graph.NewSet[model.OpID](1, 3)
+	conf := partition.ConflictComponents(l.ConflictGraph(), redo)
+	if want := [][]model.OpID{{1}, {3}}; !reflect.DeepEqual(conf, want) {
+		t.Errorf("ConflictComponents = %v, want %v", conf, want)
+	}
+	got := componentIDs(partition.FromLog(l, redo))
+	if want := [][]model.OpID{{1, 3}}; !reflect.DeepEqual(got, want) {
+		t.Errorf("plan components = %v, want %v", got, want)
+	}
+}
+
+// TestInstallComponentsDropReadDependencies demonstrates the gap the
+// package comment describes: the installation graph drops the pure
+// write-read edge A→B, so its components would let B replay without A —
+// feeding B a stale read. The conflict components (and the plan) keep
+// them fused.
+func TestInstallComponentsDropReadDependencies(t *testing.T) {
+	l := logOf(
+		rw(1, nil, []model.Var{v("x")}),                // A: blind write x
+		rw(2, []model.Var{v("x")}, []model.Var{v("y")}), // B: recomputes y from x
+	)
+	redo := allOps(l)
+	cg := l.ConflictGraph()
+	ig := install.FromConflict(cg)
+
+	conf := partition.ConflictComponents(cg, redo)
+	if want := [][]model.OpID{{1, 2}}; !reflect.DeepEqual(conf, want) {
+		t.Errorf("ConflictComponents = %v, want %v", conf, want)
+	}
+	inst := partition.InstallComponents(ig, redo)
+	if want := [][]model.OpID{{1}, {2}}; !reflect.DeepEqual(inst, want) {
+		t.Errorf("InstallComponents = %v, want %v (the dropped WR edge)", inst, want)
+	}
+	plan := partition.FromLog(l, redo)
+	if want := [][]model.OpID{{1, 2}}; !reflect.DeepEqual(componentIDs(plan), want) {
+		t.Errorf("plan components = %v, want %v", componentIDs(plan), want)
+	}
+}
+
+// TestInstallComponentsMatchForBlindWrites: with no read sets there are
+// no write-read edges to drop, so the installation graph's components are
+// exactly the conflict components — Theorem 3's special case.
+func TestInstallComponentsMatchForBlindWrites(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	vars := []model.Var{v("x"), v("y"), v("z")}
+	l := core.NewLog()
+	for i := 1; i <= 25; i++ {
+		l.Append(rw(model.OpID(i), nil, []model.Var{vars[rng.Intn(len(vars))]}))
+	}
+	redo := allOps(l)
+	cg := l.ConflictGraph()
+	ig := install.FromConflict(cg)
+	conf := partition.ConflictComponents(cg, redo)
+	inst := partition.InstallComponents(ig, redo)
+	if !reflect.DeepEqual(conf, inst) {
+		t.Errorf("blind-write components differ: conflict %v, install %v", conf, inst)
+	}
+}

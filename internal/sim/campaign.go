@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"redotheory/internal/fault"
 	"redotheory/internal/method"
@@ -248,9 +249,42 @@ type CampaignConfig struct {
 	// TruncateProb is forwarded to each run (checkpoint-driven log
 	// truncation exercises the recovery-base floors).
 	TruncateProb float64
+	// Workers bounds the pool that executes runs concurrently. 0 or 1
+	// runs sequentially. Results are identical to a sequential sweep
+	// regardless of worker count: every run derives its randomness from
+	// its own cell (method, seed, kind, crash point) and results are
+	// returned in canonical sorted order either way.
+	Workers int
 }
 
-// Campaign sweeps the whole matrix and returns every run's result.
+// campaignCell is one point of the campaign matrix, fully determined
+// before any run executes so scheduling order cannot leak into results.
+type campaignCell struct {
+	method NamedFactory
+	ops    []*model.Op
+	kind   fault.Kind
+	crash  int
+	seed   int64
+}
+
+func (c campaignCell) run(initial *model.State, truncateProb float64) (*FaultResult, error) {
+	r, err := RunFaulted(c.method.New, Config{
+		Ops:          c.ops,
+		Initial:      initial,
+		CrashAfter:   c.crash,
+		Seed:         c.seed*1000 + int64(c.crash),
+		TruncateProb: truncateProb,
+	}, fault.Plan{Seed: c.seed*7919 + int64(c.crash), Kind: c.kind})
+	if err != nil {
+		return nil, fmt.Errorf("sim: campaign %s/%s/crash=%d/seed=%d: %w", c.method.Name, c.kind, c.crash, c.seed, err)
+	}
+	return r, nil
+}
+
+// Campaign sweeps the whole matrix and returns every run's result in
+// canonical order (SortResults: method, fault kind, crash point, seed).
+// With cfg.Workers > 1 the runs execute on a bounded worker pool; the
+// returned results are byte-for-byte the same as a sequential sweep.
 func Campaign(cfg CampaignConfig) ([]*FaultResult, error) {
 	kinds := cfg.Kinds
 	if len(kinds) == 0 {
@@ -275,7 +309,10 @@ func Campaign(cfg CampaignConfig) ([]*FaultResult, error) {
 
 	pages := workload.Pages(numPages)
 	initial := workload.InitialState(pages)
-	var out []*FaultResult
+
+	// Materialize every cell first: workloads are generated once per
+	// (method, seed) and shared read-only across that pair's runs.
+	var cells []campaignCell
 	for _, m := range cfg.Methods {
 		for _, seed := range seeds {
 			ops, err := workload.ForMethod(m.Name, numOps, pages, seed)
@@ -284,22 +321,86 @@ func Campaign(cfg CampaignConfig) ([]*FaultResult, error) {
 			}
 			for _, kind := range kinds {
 				for _, crash := range points {
-					r, err := RunFaulted(m.New, Config{
-						Ops:          ops,
-						Initial:      initial,
-						CrashAfter:   crash,
-						Seed:         seed*1000 + int64(crash),
-						TruncateProb: cfg.TruncateProb,
-					}, fault.Plan{Seed: seed*7919 + int64(crash), Kind: kind})
-					if err != nil {
-						return nil, fmt.Errorf("sim: campaign %s/%s/crash=%d/seed=%d: %w", m.Name, kind, crash, seed, err)
-					}
-					out = append(out, r)
+					cells = append(cells, campaignCell{method: m, ops: ops, kind: kind, crash: crash, seed: seed})
 				}
 			}
 		}
 	}
+
+	out := make([]*FaultResult, len(cells))
+	workers := cfg.Workers
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	if workers <= 1 {
+		for i, c := range cells {
+			r, err := c.run(initial, cfg.TruncateProb)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = r
+		}
+		SortResults(out)
+		return out, nil
+	}
+
+	// Order-stable aggregation: each worker writes its cell's slot, so
+	// completion order never reorders results.
+	work := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	firstErrIdx := len(cells)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				r, err := cells[i].run(initial, cfg.TruncateProb)
+				if err != nil {
+					// Keep the error of the earliest cell, matching what
+					// a sequential sweep would have reported.
+					mu.Lock()
+					if i < firstErrIdx {
+						firstErr, firstErrIdx = err, i
+					}
+					mu.Unlock()
+					continue
+				}
+				out[i] = r
+			}
+		}()
+	}
+	for i := range cells {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	SortResults(out)
 	return out, nil
+}
+
+// SortResults puts fault results into canonical order: method, fault
+// kind, crash point, seed. Campaign output is already sorted; the
+// function is exported so any aggregator can normalize results produced
+// in completion order.
+func SortResults(rs []*FaultResult) {
+	sort.SliceStable(rs, func(i, j int) bool {
+		a, b := rs[i], rs[j]
+		if a.Method != b.Method {
+			return a.Method < b.Method
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.CrashAfter != b.CrashAfter {
+			return a.CrashAfter < b.CrashAfter
+		}
+		return a.Seed < b.Seed
+	})
 }
 
 // CampaignSummary condenses a campaign.

@@ -51,6 +51,10 @@ type Config struct {
 	// cache (the page-LSN family); the caller is responsible for the
 	// match.
 	OnlineAudit bool
+	// ParallelWorkers, when positive, additionally runs partitioned
+	// parallel recovery (method.RecoverParallel) with that many workers
+	// and records whether it reproduced the sequential outcome.
+	ParallelWorkers int
 }
 
 // Result reports one simulation run.
@@ -80,6 +84,13 @@ type Result struct {
 	TruncatedRecords int
 	// OnlineAudits counts the live audits performed.
 	OnlineAudits int
+	// ParallelAgrees is the parallel-recovery cross-check verdict: the
+	// partitioned replay produced the sequential outcome (true when
+	// ParallelWorkers was off).
+	ParallelAgrees bool
+	// ParallelComponents is how many independent components the parallel
+	// plan replayed (0 when ParallelWorkers was off).
+	ParallelComponents int
 }
 
 // Run executes one simulation.
@@ -193,6 +204,22 @@ func Run(mk Factory, cfg Config) (*Result, error) {
 	if cfg.SkipChecker {
 		res.InvariantOK = res.Recovered
 	}
+
+	// Parallel cross-check: partitioned replay must reproduce the
+	// sequential outcome bit for bit.
+	res.ParallelAgrees = true
+	if cfg.ParallelWorkers > 0 {
+		par, err := method.RecoverParallel(db, method.ParallelOptions{Workers: cfg.ParallelWorkers})
+		if err != nil {
+			res.ParallelAgrees = false
+			res.RecoverErr = fmt.Errorf("sim: parallel recovery: %w", err)
+			return res, nil
+		}
+		res.ParallelComponents = par.Plan.Components
+		if err := par.SameOutcome(rec); err != nil {
+			res.ParallelAgrees = false
+		}
+	}
 	return res, nil
 }
 
@@ -200,9 +227,17 @@ func Run(mk Factory, cfg Config) (*Result, error) {
 // returns the per-point results: the crash-matrix row for one method and
 // one workload.
 func Sweep(mk Factory, ops []*model.Op, initial *model.State, seed int64) ([]*Result, error) {
+	return SweepParallel(mk, ops, initial, seed, 0)
+}
+
+// SweepParallel is Sweep with the parallel-recovery cross-check enabled
+// at every crash point when workers > 0: each run also recovers via
+// method.RecoverParallel and records agreement with the sequential
+// procedure.
+func SweepParallel(mk Factory, ops []*model.Op, initial *model.State, seed int64, workers int) ([]*Result, error) {
 	out := make([]*Result, 0, len(ops)+1)
 	for crash := 0; crash <= len(ops); crash++ {
-		r, err := Run(mk, Config{Ops: ops, Initial: initial, CrashAfter: crash, Seed: seed + int64(crash)})
+		r, err := Run(mk, Config{Ops: ops, Initial: initial, CrashAfter: crash, Seed: seed + int64(crash), ParallelWorkers: workers})
 		if err != nil {
 			return nil, err
 		}
@@ -219,6 +254,9 @@ type Summary struct {
 	InvariantOK int
 	Replayed    int
 	Examined    int
+	// ParallelOK counts runs whose parallel-recovery cross-check agreed
+	// with sequential recovery (equal to Runs when the check was off).
+	ParallelOK int
 }
 
 // Summarize folds sweep results.
@@ -232,6 +270,9 @@ func Summarize(rs []*Result) Summary {
 		}
 		if r.InvariantOK {
 			s.InvariantOK++
+		}
+		if r.ParallelAgrees {
+			s.ParallelOK++
 		}
 		s.Replayed += r.Replayed
 		s.Examined += r.Examined

@@ -111,6 +111,38 @@ func BlindWrites(n int, pages []model.Var, seed int64) []*model.Op {
 	return ops
 }
 
+// HeavySinglePage generates n single-page read-modify-write operations
+// whose compute function iterates the digest fold `rounds` times: a
+// stand-in for what replaying a page operation costs in a real system
+// (decode the page, recompute the change, re-encode). The parallel
+// recovery benchmarks use it so replay work, not scheduling overhead,
+// dominates; with a uniform page pick each page's operation chain is an
+// independent replay component.
+func HeavySinglePage(n int, pages []model.Var, rounds int, seed int64) []*model.Op {
+	rng := rand.New(rand.NewSource(seed))
+	ops := make([]*model.Op, n)
+	for i := range ops {
+		p := pages[rng.Intn(len(pages))]
+		id := model.OpID(i + 1)
+		ops[i] = model.NewOp(id, "heavy", []model.Var{p}, []model.Var{p},
+			func(r model.ReadSet) model.WriteSet {
+				const prime = 1099511628211
+				h := uint64(14695981039346656037) ^ uint64(id)
+				in := string(r[p])
+				for k := 0; k < rounds; k++ {
+					for j := 0; j < len(in); j++ {
+						h ^= uint64(in[j])
+						h *= prime
+					}
+					h ^= uint64(k)
+					h *= prime
+				}
+				return model.WriteSet{p: model.IntVal(int64(h % (1 << 62)))}
+			})
+	}
+	return ops
+}
+
 // BankTransfers generates n two-account transfers (read both accounts,
 // write both) over the pages as accounts: a classic multi-variable
 // workload for the logical and physical methods.
