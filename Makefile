@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race soak fuzz bench bench-full experiments examples tools campaign cover clean
+.PHONY: all build vet test test-short race soak fuzz bench bench-full experiments examples tools campaign metrics cover clean
 
 all: build vet test
 
@@ -59,6 +59,14 @@ tools:
 
 campaign:
 	$(GO) run ./cmd/redosim -campaign
+
+# metrics runs the fault campaign with live telemetry, validates the
+# report against the v1 schema, and renders the per-method
+# phase-time/selectivity table plus the partition width histogram.
+metrics:
+	$(GO) run ./cmd/redosim -campaign -metrics metrics.json
+	$(GO) run ./cmd/redostats -check metrics.json
+	$(GO) run ./cmd/redostats -widths metrics.json
 
 cover:
 	$(GO) test -cover ./internal/...

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"redotheory/internal/method"
+	"redotheory/internal/obs"
 	"redotheory/internal/workload"
 )
 
@@ -59,7 +60,15 @@ type report struct {
 	} `json:"fixture"`
 	Sequential measurement   `json:"sequential"`
 	Parallel   []measurement `json:"parallel"`
-	Verdict    string        `json:"verdict"`
+	// Instrumentation is the telemetry overhead experiment: sequential
+	// recovery with a metrics-only recorder attached (no event sink)
+	// versus the uninstrumented baseline.
+	Instrumentation struct {
+		Observed  measurement `json:"observed"`
+		Ratio     float64     `json:"ratio_vs_uninstrumented"`
+		Tolerance float64     `json:"tolerance"`
+	} `json:"instrumentation"`
+	Verdict string `json:"verdict"`
 }
 
 func main() {
@@ -68,7 +77,21 @@ func main() {
 	nPages := flag.Int("pages", 16, "pages (= independent components) in the fixture")
 	rounds := flag.Int("rounds", 400, "recomputation rounds per replayed operation")
 	tolerance := flag.Float64("tolerance", 1.25, "single-CPU gate: max allowed parallel/sequential time ratio")
+	obsTolerance := flag.Float64("obs.tolerance", 1.05, "instrumentation gate: max allowed instrumented/uninstrumented time ratio")
+	debugAddr := flag.String("debug.addr", "", "serve net/http/pprof, expvar, and /metrics on this address while benchmarking (e.g. localhost:6060)")
 	flag.Parse()
+
+	benchRec := obs.New()
+	if *debugAddr != "" {
+		_, addr, err := obs.ServeDebug(*debugAddr, func() any {
+			s := benchRec.Snapshot()
+			return &s
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "redobench: debug server (pprof, expvar, /metrics) on http://%s\n", addr)
+	}
 
 	pages := workload.Pages(*nPages)
 	s0 := workload.InitialState(pages)
@@ -124,8 +147,22 @@ func main() {
 		rep.Parallel = append(rep.Parallel, m)
 	}
 
+	// Telemetry overhead: the same sequential recovery with a live
+	// metrics recorder (counters, phase spans; no event sink — the
+	// always-on configuration). The gate keeps instrumentation honest:
+	// observability may not tax recovery beyond the tolerance.
+	rep.Instrumentation.Observed = measure("sequential+obs", 0, func() error {
+		_, err := method.RecoverObserved(db, benchRec)
+		return err
+	})
+	rep.Instrumentation.Ratio = round3(float64(rep.Instrumentation.Observed.NsPerOp) / float64(rep.Sequential.NsPerOp))
+	rep.Instrumentation.Tolerance = *obsTolerance
+
 	wide := rep.Parallel[len(rep.Parallel)-1]
 	fail := ""
+	if rep.Instrumentation.Ratio > *obsTolerance {
+		fail = fmt.Sprintf("instrumented recovery is %.3fx uninstrumented, over the %.2fx tolerance", rep.Instrumentation.Ratio, *obsTolerance)
+	}
 	if rep.GoMaxProcs >= 2 {
 		best := 0.0
 		for _, m := range rep.Parallel {
@@ -165,6 +202,8 @@ func main() {
 	for _, m := range rep.Parallel {
 		fmt.Printf("%-10s  %s  (%.3fx)\n", m.Name, fmtNs(m.NsPerOp), m.Speedup)
 	}
+	fmt.Printf("instrumented: %s (%.3fx of uninstrumented, tolerance %.2fx)\n",
+		fmtNs(rep.Instrumentation.Observed.NsPerOp), rep.Instrumentation.Ratio, *obsTolerance)
 	fmt.Printf("wrote %s\n%s\n", *out, rep.Verdict)
 	if fail != "" {
 		os.Exit(1)

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"time"
 	"text/tabwriter"
 
 	"redotheory/internal/btree"
@@ -20,6 +21,7 @@ import (
 	"redotheory/internal/graph"
 	"redotheory/internal/method"
 	"redotheory/internal/model"
+	"redotheory/internal/obs"
 	"redotheory/internal/sim"
 	"redotheory/internal/trace"
 	"redotheory/internal/workload"
@@ -61,11 +63,28 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	online := flag.Bool("online", false, "attach the live invariant auditor (page-LSN methods only)")
 	emitTrace := flag.Bool("emit-trace", false, "with -method and -crash: print the crash as a redocheck trace (JSON) instead of a report")
+	metricsOut := flag.String("metrics", "", "write a per-method telemetry report (redostats-compatible JSON) to this path; with -matrix it implies the partitioned cross-check so the full phase breakdown is observed")
+	debugAddr := flag.String("debug.addr", "", "serve net/http/pprof, expvar, and /metrics on this address for the duration of the run (e.g. localhost:6060)")
 	flag.Parse()
+
+	// The live metric sink: one recorder per method, shared by every run
+	// of that method, snapshotted into the -metrics report and the debug
+	// server's /metrics endpoint.
+	var metrics *sim.CampaignMetrics
+	if *metricsOut != "" || *debugAddr != "" {
+		metrics = sim.NewCampaignMetrics()
+	}
+	if *debugAddr != "" {
+		_, addr, err := obs.ServeDebug(*debugAddr, func() any { return metrics.Report("redosim -debug.addr") })
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "redosim: debug server (pprof, expvar, /metrics) on http://%s\n", addr)
+	}
 
 	switch {
 	case *matrix:
-		runMatrix(*nOps, *nPages, *seed, *workers)
+		runMatrix(*nOps, *nPages, *seed, *workers, metrics)
 	case *experiment == "splitlog":
 		runSplitLog(*seed)
 	case *experiment != "":
@@ -74,7 +93,7 @@ func main() {
 	case *walfault:
 		runWALFault(*nOps, *nPages, *seed)
 	case *campaign:
-		runCampaign(*nOps, *nPages, *seeds, *workers)
+		runCampaign(*nOps, *nPages, *seeds, *workers, metrics)
 	case *emitTrace:
 		if *methodName == "" || *crash < 0 {
 			fmt.Fprintln(os.Stderr, "redosim: -emit-trace requires -method and -crash")
@@ -82,19 +101,51 @@ func main() {
 		}
 		emitCrashTrace(*methodName, *nOps, *nPages, *crash, *seed)
 	case *methodName != "":
-		runOne(*methodName, *nOps, *nPages, *crash, *seed, *online, *workers)
+		runOne(*methodName, *nOps, *nPages, *crash, *seed, *online, *workers, metrics)
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	if *metricsOut != "" {
+		writeMetrics(metrics, *metricsOut, sourceLabel(*matrix, *campaign, *methodName))
+	}
 }
 
-func runMatrix(nOps, nPages int, seed int64, workers int) {
+// sourceLabel names the producing mode for the report's source field.
+func sourceLabel(matrix, campaign bool, methodName string) string {
+	switch {
+	case matrix:
+		return "redosim -matrix"
+	case campaign:
+		return "redosim -campaign"
+	case methodName != "":
+		return "redosim -method " + methodName
+	default:
+		return "redosim"
+	}
+}
+
+// writeMetrics snapshots the aggregator into the v1 report and writes
+// it, warning (but not failing) on schema gaps — a single-method
+// sequential run legitimately lacks the partition phases.
+func writeMetrics(metrics *sim.CampaignMetrics, path, source string) {
+	rep := metrics.Report(source)
+	if err := rep.WriteFile(path); err != nil {
+		fatal(err)
+	}
+	if err := rep.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "redosim: warning: %s is incomplete: %v\n", path, err)
+	}
+	fmt.Printf("metrics written to %s (%d methods); render with: redostats %s\n", path, len(rep.Methods), path)
+}
+
+func runMatrix(nOps, nPages int, seed int64, workers int, metrics *sim.CampaignMetrics) {
 	pages := workload.Pages(nPages)
 	s0 := workload.InitialState(pages)
 	parallel := workers > 1
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	header := "method\tcrash points\trecovered\tinvariant held\treplayed ops\texamined records"
+	header := "method\tcrash points\trecovered\tinvariant held\treplayed ops\treplayed p50/p99\texamined records\trecovery wall\twall p50/p99"
 	if parallel {
 		header += "\tparallel agreed"
 	}
@@ -109,13 +160,20 @@ func runMatrix(nOps, nPages int, seed int64, workers int) {
 		if parallel {
 			sweepWorkers = workers
 		}
-		results, err := sim.SweepParallel(f.mk, ops, s0, seed, sweepWorkers)
+		if metrics != nil && sweepWorkers == 0 {
+			// The phase breakdown's decide/partition/replay/merge stages
+			// only exist in the partitioned engine; observe it.
+			sweepWorkers = 2
+		}
+		results, err := sim.SweepObserved(f.mk, ops, s0, seed, sweepWorkers, metrics.Recorder(f.name))
 		if err != nil {
 			fatal(err)
 		}
 		s := sim.Summarize(results)
-		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d",
-			s.Method, s.Runs, s.Recovered, s.InvariantOK, s.Replayed, s.Examined)
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d/%d\t%d\t%s\t%s/%s",
+			s.Method, s.Runs, s.Recovered, s.InvariantOK, s.Replayed,
+			s.ReplayedP50, s.ReplayedP99, s.Examined,
+			s.Wall.Round(time.Microsecond), s.WallP50.Round(time.Microsecond), s.WallP99.Round(time.Microsecond))
 		if parallel {
 			fmt.Fprintf(w, "\t%d", s.ParallelOK)
 		}
@@ -202,7 +260,7 @@ func runWALFault(nOps, nPages int, seed int64) {
 // runCampaign sweeps methods × fault kinds × crash points × seeds,
 // classifying every run; the headline assertion is zero silent
 // corruption across the whole matrix.
-func runCampaign(nOps, nPages, nSeeds, workers int) {
+func runCampaign(nOps, nPages, nSeeds, workers int, metrics *sim.CampaignMetrics) {
 	methods := make([]sim.NamedFactory, len(factories))
 	for i, f := range factories {
 		methods[i] = sim.NamedFactory{Name: f.name, New: f.mk}
@@ -219,6 +277,7 @@ func runCampaign(nOps, nPages, nSeeds, workers int) {
 		Seeds:        seeds,
 		TruncateProb: 0.5,
 		Workers:      workers,
+		Metrics:      metrics,
 	})
 	if err != nil {
 		fatal(err)
@@ -267,7 +326,7 @@ func runCampaign(nOps, nPages, nSeeds, workers int) {
 	fmt.Println("RESULT: zero silent corruption — every media fault was repaired, degraded, or detected")
 }
 
-func runOne(name string, nOps, nPages, crash int, seed int64, online bool, workers int) {
+func runOne(name string, nOps, nPages, crash int, seed int64, online bool, workers int, metrics *sim.CampaignMetrics) {
 	mk, ok := factory(name)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "redosim: unknown method %q\n", name)
@@ -284,13 +343,16 @@ func runOne(name string, nOps, nPages, crash int, seed int64, online bool, worke
 		parWorkers = workers
 	}
 	if crash < 0 {
-		results, err := sim.SweepParallel(mk, ops, s0, seed, parWorkers)
+		results, err := sim.SweepObserved(mk, ops, s0, seed, parWorkers, metrics.Recorder(name))
 		if err != nil {
 			fatal(err)
 		}
 		s := sim.Summarize(results)
 		fmt.Printf("%s: %d/%d crash points recovered, invariant held at %d/%d\n",
 			s.Method, s.Recovered, s.Runs, s.InvariantOK, s.Runs)
+		fmt.Printf("replayed %d ops (p50/p99 %d/%d per point); recovery wall %s (p50/p99 %s/%s)\n",
+			s.Replayed, s.ReplayedP50, s.ReplayedP99,
+			s.Wall.Round(time.Microsecond), s.WallP50.Round(time.Microsecond), s.WallP99.Round(time.Microsecond))
 		if parWorkers > 0 {
 			fmt.Printf("parallel replay (%d workers) agreed at %d/%d crash points\n",
 				parWorkers, s.ParallelOK, s.Runs)
@@ -300,7 +362,7 @@ func runOne(name string, nOps, nPages, crash int, seed int64, online bool, worke
 		}
 		return
 	}
-	res, err := sim.Run(mk, sim.Config{Ops: ops, Initial: s0, CrashAfter: crash, Seed: seed, OnlineAudit: online, ParallelWorkers: parWorkers})
+	res, err := sim.Run(mk, sim.Config{Ops: ops, Initial: s0, CrashAfter: crash, Seed: seed, OnlineAudit: online, ParallelWorkers: parWorkers, Recorder: metrics.Recorder(name)})
 	if err != nil {
 		fatal(err)
 	}

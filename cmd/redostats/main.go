@@ -1,0 +1,56 @@
+// Command redostats renders the telemetry reports written by
+// `redosim -metrics` (and any other producer of the v1 metrics schema):
+//
+//	redostats out.json           # per-method phase-time/selectivity table
+//	redostats -widths out.json   # + the partition width histogram
+//	redostats -check out.json    # validate the schema; exit 1 on any gap
+//
+// The table shows, per recovery method, the total time spent in each
+// phase of the instrumented pipeline (scan, analysis, decide, partition,
+// replay, merge), the redo selectivity (admitted/examined), and the
+// partition component width percentiles.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"redotheory/internal/obs"
+)
+
+func main() {
+	check := flag.Bool("check", false, "validate the report against the v1 schema and exit (0 ok, 1 invalid)")
+	widths := flag.Bool("widths", false, "also render the partition width histogram")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: redostats [-check] [-widths] report.json")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+
+	rep, err := obs.ReadReportFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	if *check {
+		if err := rep.Validate(); err != nil {
+			fmt.Fprintf(os.Stderr, "redostats: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: valid %s report (%d methods)\n", path, rep.Schema, len(rep.Methods))
+		return
+	}
+
+	fmt.Printf("source: %s  generated: %s\n\n", rep.Source, rep.GeneratedAt)
+	rep.RenderTable(os.Stdout)
+	if *widths {
+		fmt.Println()
+		rep.RenderWidths(os.Stdout)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "redostats: %v\n", err)
+	os.Exit(1)
+}

@@ -22,6 +22,7 @@ import (
 	"redotheory/internal/core"
 	"redotheory/internal/graph"
 	"redotheory/internal/model"
+	"redotheory/internal/obs"
 	"redotheory/internal/storage"
 	"redotheory/internal/wal"
 )
@@ -69,6 +70,9 @@ type Manager struct {
 	// OnInstall, when set, is invoked after every page install with the
 	// page and the LSN it was installed at — the online auditor's feed.
 	OnInstall func(model.Var, core.LSN)
+	// rec is the attached telemetry recorder (nil = disabled): installs
+	// are counted and emitted as flush/steal events.
+	rec *obs.Recorder
 }
 
 // NewManager returns a cache over the given store and log manager.
@@ -80,6 +84,9 @@ func NewManager(store *storage.Store, log *wal.Manager) *Manager {
 		EnforceWAL: true,
 	}
 }
+
+// SetRecorder attaches a telemetry recorder. Pass nil to disable.
+func (m *Manager) SetRecorder(rec *obs.Recorder) { m.rec = rec }
 
 // Read returns the current (volatile) value of a page: the cached copy if
 // present, else the stable copy.
@@ -182,6 +189,8 @@ func (m *Manager) Flush(id model.Var) error {
 	p.older = nil
 	p.opsSince = nil
 	m.Flushes++
+	m.rec.Inc(obs.MCacheFlushes)
+	m.rec.Emit(obs.Event{Type: obs.EvCacheFlush, Page: string(id), LSN: int64(p.pageLSN)})
 	if m.OnInstall != nil {
 		m.OnInstall(id, p.pageLSN)
 	}
@@ -225,12 +234,15 @@ func (m *Manager) FlushGroup(ids []model.Var) error {
 	if err := m.store.WriteGroup(pages); err != nil {
 		return fmt.Errorf("cache: group flush: %w", err)
 	}
+	m.rec.Inc(obs.MCacheGroups)
 	for _, id := range ids {
 		p := m.pages[id]
 		p.dirty = false
 		p.older = nil
 		p.opsSince = nil
 		m.Flushes++
+		m.rec.Inc(obs.MCacheFlushes)
+		m.rec.Emit(obs.Event{Type: obs.EvCacheFlush, Page: string(id), LSN: int64(p.pageLSN)})
 		if m.OnInstall != nil {
 			m.OnInstall(id, p.pageLSN)
 		}

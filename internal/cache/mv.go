@@ -5,6 +5,7 @@ import (
 
 	"redotheory/internal/core"
 	"redotheory/internal/model"
+	"redotheory/internal/obs"
 	"redotheory/internal/storage"
 	"redotheory/internal/wal"
 )
@@ -89,6 +90,15 @@ func (m *Manager) FlushBest(id model.Var) error {
 	}
 	m.store.Write(id, v.data, v.lsn)
 	m.Flushes++
+	if v.lsn == p.pageLSN {
+		m.rec.Inc(obs.MCacheFlushes)
+		m.rec.Emit(obs.Event{Type: obs.EvCacheFlush, Page: string(id), LSN: int64(v.lsn)})
+	} else {
+		// An older version installed out from under the blocked newest
+		// one: the multi-version cache's "steal".
+		m.rec.Inc(obs.MCacheSteals)
+		m.rec.Emit(obs.Event{Type: obs.EvCacheSteal, Page: string(id), LSN: int64(v.lsn)})
+	}
 	if m.OnInstall != nil {
 		m.OnInstall(id, v.lsn)
 	}

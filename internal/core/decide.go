@@ -3,9 +3,11 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"redotheory/internal/graph"
 	"redotheory/internal/model"
+	"redotheory/internal/obs"
 )
 
 // RedoDecision is the outcome of running the recovery procedure's
@@ -41,26 +43,74 @@ type RedoDecision struct {
 // values. The property tests in internal/method assert the resulting
 // equivalence against sequential Recover for every method.
 func DecideRedo(state *model.State, log *Log, checkpoint graph.Set[model.OpID], redo RedoTest, analyze AnalyzeFunc) *RedoDecision {
+	return DecideRedoObserved(nil, state, log, checkpoint, redo, analyze)
+}
+
+// DecideRedoObserved is DecideRedo with telemetry: a "decide" span over
+// the whole phase, per-call analysis span events nested inside it (when
+// a sink is attached), per-record admit/skip events carrying the
+// redo-test verdict, and per-phase durations for analysis and the
+// derived "scan" (decide minus analysis). A nil recorder makes it
+// exactly DecideRedo.
+func DecideRedoObserved(rec *obs.Recorder, state *model.State, log *Log, checkpoint graph.Set[model.OpID], redo RedoTest, analyze AnalyzeFunc) *RedoDecision {
 	d := &RedoDecision{
 		RedoSet:   graph.NewSet[model.OpID](),
 		Installed: graph.NewSet[model.OpID](),
 	}
+	rec.Touch(obs.MRedoExamined, obs.MRedoAdmitted, obs.MRedoSkipped)
+	// Hot path: resolved counter handles, raw clock accumulation, and
+	// sink-guarded event payloads — see RecoverObserved for the rationale.
+	obsOn := rec != nil
+	cExamined := rec.CounterHandle(obs.MRedoExamined)
+	cAdmitted := rec.CounterHandle(obs.MRedoAdmitted)
+	cSkipped := rec.CounterHandle(obs.MRedoSkipped)
+	cCheckpointed := rec.CounterHandle(obs.MRedoCheckpointed)
+	span := rec.StartSpan(obs.PhaseDecide)
+	var analysisTotal time.Duration
 	var analysis Analysis
 	for _, r := range log.Records() {
 		if checkpoint.Has(r.Op.ID()) {
 			d.Installed.Add(r.Op.ID())
+			cCheckpointed.Add(1)
+			if rec.Sinking() {
+				rec.Emit(obs.Event{Type: obs.EvSkip, LSN: int64(r.LSN), Op: r.Op.String(), Verdict: "checkpointed"})
+			}
 			continue
 		}
 		d.Examined++
+		cExamined.Add(1)
 		if analyze != nil {
+			var t0 time.Time
+			if obsOn {
+				rec.Emit(obs.Event{Type: obs.EvSpanBegin, Phase: obs.PhaseAnalysis})
+				t0 = time.Now()
+			}
 			analysis = analyze(state, log, unrecoveredAfter(log, checkpoint, r.LSN), analysis)
+			if obsOn {
+				dur := time.Since(t0)
+				analysisTotal += dur
+				rec.Emit(obs.Event{Type: obs.EvSpanEnd, Phase: obs.PhaseAnalysis, Dur: dur})
+			}
 		}
 		if redo(r.Op, state, log, analysis) {
 			d.RedoSet.Add(r.Op.ID())
 			d.Replay = append(d.Replay, r)
+			cAdmitted.Add(1)
+			if rec.Sinking() {
+				rec.Emit(obs.Event{Type: obs.EvAdmit, LSN: int64(r.LSN), Op: r.Op.String(), Verdict: "admit"})
+			}
 		} else {
 			d.Installed.Add(r.Op.ID())
+			cSkipped.Add(1)
+			if rec.Sinking() {
+				rec.Emit(obs.Event{Type: obs.EvSkip, LSN: int64(r.LSN), Op: r.Op.String(), Verdict: "redo-test-false"})
+			}
 		}
+	}
+	if rec != nil {
+		total := span.End()
+		rec.ObserveDuration("phase."+string(obs.PhaseAnalysis), analysisTotal)
+		rec.ObserveDuration("phase."+string(obs.PhaseScan), total-analysisTotal)
 	}
 	return d
 }

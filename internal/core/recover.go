@@ -2,9 +2,11 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"redotheory/internal/graph"
 	"redotheory/internal/model"
+	"redotheory/internal/obs"
 )
 
 // Analysis is the opaque value produced by a recovery method's analysis
@@ -51,32 +53,100 @@ type Result struct {
 // graph that explains the pre-recovery state, Recover terminates with the
 // state determined by the conflict graph.
 func Recover(state *model.State, log *Log, checkpoint graph.Set[model.OpID], redo RedoTest, analyze AnalyzeFunc) (*Result, error) {
+	return RecoverObserved(nil, state, log, checkpoint, redo, analyze)
+}
+
+// RecoverObserved is Recover with telemetry: an umbrella "recover" span
+// over the whole procedure, per-record analysis/replay span events (when
+// a sink is attached), per-recovery phase durations for analysis, replay,
+// and scan (the loop minus the time inside analysis and replay), and
+// admit/skip events with the redo-test verdict. A nil recorder makes it
+// exactly Recover.
+func RecoverObserved(rec *obs.Recorder, state *model.State, log *Log, checkpoint graph.Set[model.OpID], redo RedoTest, analyze AnalyzeFunc) (*Result, error) {
 	res := &Result{
 		State:     state,
 		RedoSet:   graph.NewSet[model.OpID](),
 		Installed: graph.NewSet[model.OpID](),
 	}
+	rec.Touch(obs.MRedoExamined, obs.MRedoAdmitted, obs.MRedoSkipped)
+	// The loop below is the recovery hot path, so instrumentation is kept
+	// to resolved counter handles (one atomic add each), raw clock reads
+	// accumulated locally, and Emit calls that are a single atomic load
+	// when no sink is attached; histogram observations happen once per
+	// recovery, after the loop.
+	obsOn := rec != nil
+	cExamined := rec.CounterHandle(obs.MRedoExamined)
+	cAdmitted := rec.CounterHandle(obs.MRedoAdmitted)
+	cSkipped := rec.CounterHandle(obs.MRedoSkipped)
+	cCheckpointed := rec.CounterHandle(obs.MRedoCheckpointed)
+	cReplayed := rec.CounterHandle(obs.MReplayRecords)
+	span := rec.StartSpan(obs.PhaseRecover)
+	var analysisTotal, replayTotal time.Duration
 	var analysis Analysis
 	for _, r := range log.Records() {
 		if checkpoint.Has(r.Op.ID()) {
 			res.Installed.Add(r.Op.ID())
+			cCheckpointed.Add(1)
+			if rec.Sinking() {
+				rec.Emit(obs.Event{Type: obs.EvSkip, LSN: int64(r.LSN), Op: r.Op.String(), Verdict: "checkpointed"})
+			}
 			continue
 		}
 		// O is the minimal operation in unrecovered: records are visited
 		// in LSN order, which is consistent with the conflict order.
 		res.Examined++
+		cExamined.Add(1)
 		if analyze != nil {
+			var t0 time.Time
+			if obsOn {
+				rec.Emit(obs.Event{Type: obs.EvSpanBegin, Phase: obs.PhaseAnalysis})
+				t0 = time.Now()
+			}
 			analysis = analyze(state, log, unrecoveredAfter(log, checkpoint, r.LSN), analysis)
+			if obsOn {
+				d := time.Since(t0)
+				analysisTotal += d
+				rec.Emit(obs.Event{Type: obs.EvSpanEnd, Phase: obs.PhaseAnalysis, Dur: d})
+			}
 		}
 		if redo(r.Op, state, log, analysis) {
 			res.RedoSet.Add(r.Op.ID())
 			res.Replayed = append(res.Replayed, r.Op.ID())
-			if _, err := state.Apply(r.Op); err != nil {
+			cAdmitted.Add(1)
+			if rec.Sinking() {
+				rec.Emit(obs.Event{Type: obs.EvAdmit, LSN: int64(r.LSN), Op: r.Op.String(), Verdict: "admit"})
+			}
+			var t0 time.Time
+			if obsOn {
+				rec.Emit(obs.Event{Type: obs.EvSpanBegin, Phase: obs.PhaseReplay})
+				t0 = time.Now()
+			}
+			_, err := state.Apply(r.Op)
+			if obsOn {
+				d := time.Since(t0)
+				replayTotal += d
+				rec.Emit(obs.Event{Type: obs.EvSpanEnd, Phase: obs.PhaseReplay, Dur: d})
+			}
+			if err != nil {
+				span.End()
 				return nil, fmt.Errorf("core: replaying %s: %w", r.Op, err)
 			}
+			cReplayed.Add(1)
 		} else {
 			res.Installed.Add(r.Op.ID())
+			cSkipped.Add(1)
+			if rec.Sinking() {
+				rec.Emit(obs.Event{Type: obs.EvSkip, LSN: int64(r.LSN), Op: r.Op.String(), Verdict: "redo-test-false"})
+			}
 		}
+	}
+	if rec != nil {
+		total := span.End()
+		// One observation per recovery for each nested phase (zero when the
+		// phase did no work), so rollups carry a uniform schema.
+		rec.ObserveDuration("phase."+string(obs.PhaseAnalysis), analysisTotal)
+		rec.ObserveDuration("phase."+string(obs.PhaseReplay), replayTotal)
+		rec.ObserveDuration("phase."+string(obs.PhaseScan), total-analysisTotal-replayTotal)
 	}
 	return res, nil
 }

@@ -7,6 +7,7 @@ import (
 	"redotheory/internal/core"
 	"redotheory/internal/fault"
 	"redotheory/internal/model"
+	"redotheory/internal/obs"
 	"redotheory/internal/wal"
 )
 
@@ -84,6 +85,13 @@ func (r *DegradedResult) quarantine(x model.Var) {
 func RecoverDegraded(db DB, opts DegradedOptions) (*DegradedResult, error) {
 	res := &DegradedResult{}
 	st := db.Store()
+	rec := db.Recorder()
+	defer func() {
+		for _, d := range res.Detections {
+			rec.Inc(obs.MDetections)
+			rec.Emit(obs.Event{Type: obs.EvDetection, Detail: d.Code + ": " + d.Detail})
+		}
+	}()
 
 	// Phase 1 — log: per-record checksums and the chained tail anchor.
 	// RepairTail already truncates to the last trustworthy record and
@@ -276,16 +284,21 @@ func RecoverDegraded(db DB, opts DegradedOptions) (*DegradedResult, error) {
 	// recovery base. No redo test, no checkpoint shortcut — both may be
 	// poisoned by exactly the faults just detected.
 	res.Degraded = true
+	rec.Inc(obs.MDegradedRuns)
+	span := rec.StartSpan(obs.PhaseReplay)
 	state := db.RecoveryBase()
 	lsns := db.RecoveryBaseLSNs()
 	for _, r := range log.Records() {
 		if _, err := state.Apply(r.Op); err != nil {
+			span.End()
 			return nil, fmt.Errorf("method: degraded replay of %s: %w", r.Op, err)
 		}
+		rec.Inc(obs.MReplayRecords)
 		for _, x := range r.Op.Writes() {
 			lsns[x] = r.LSN
 		}
 	}
+	span.End()
 
 	// Repair: rewrite every page from the replayed state with its true
 	// LSN tag, resealing checksums. Log order is irrelevant here — the

@@ -59,7 +59,7 @@ func (d *PhysiologicalDPT) Checkpoint() error {
 		}
 	}
 	d.log.AppendCheckpoint(dptCheckpoint{bound: bound, dpt: dpt})
-	d.checkpoints++
+	d.noteCheckpoint()
 	return nil
 }
 

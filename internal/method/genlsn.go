@@ -97,7 +97,7 @@ func (d *GenLSN) Exec(op *model.Op) error {
 	}
 
 	d.cache.ApplyWrite(page, ws[page], rec.LSN)
-	d.opsExecuted++
+	d.noteExec()
 	return nil
 }
 
@@ -120,7 +120,7 @@ func (d *GenLSN) Checkpoint() error {
 		bound = d.log.NextLSN()
 	}
 	d.log.AppendCheckpoint(bound)
-	d.checkpoints++
+	d.noteCheckpoint()
 	return nil
 }
 

@@ -91,7 +91,7 @@ func (d *GroupLSN) Exec(op *model.Op) error {
 	for _, page := range writes {
 		d.cache.ApplyWrite(page, ws[page], rec.LSN)
 	}
-	d.opsExecuted++
+	d.noteExec()
 	return nil
 }
 
@@ -174,7 +174,7 @@ func (d *GroupLSN) Checkpoint() error {
 		bound = d.log.NextLSN()
 	}
 	d.log.AppendCheckpoint(bound)
-	d.checkpoints++
+	d.noteCheckpoint()
 	return nil
 }
 

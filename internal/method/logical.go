@@ -43,7 +43,7 @@ func (d *Logical) Exec(op *model.Op) error {
 	for _, x := range op.Writes() {
 		d.cache.ApplyWrite(x, ws[x], rec.LSN)
 	}
-	d.opsExecuted++
+	d.noteExec()
 	return nil
 }
 
@@ -88,7 +88,7 @@ func (d *Logical) CompleteCheckpoint() error {
 	// through to them.
 	d.cache.Crash()
 	d.log.AppendCheckpoint(d.log.NextLSN())
-	d.checkpoints++
+	d.noteCheckpoint()
 	return nil
 }
 

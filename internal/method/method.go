@@ -20,6 +20,7 @@ import (
 	"redotheory/internal/core"
 	"redotheory/internal/graph"
 	"redotheory/internal/model"
+	"redotheory/internal/obs"
 	"redotheory/internal/storage"
 	"redotheory/internal/wal"
 )
@@ -64,6 +65,13 @@ type DB interface {
 
 	// Stats exposes counters for the experiments.
 	Stats() Stats
+
+	// SetRecorder attaches a telemetry recorder (nil disables): runtime
+	// counters and events then flow from the method, its cache, and its
+	// log manager, and recovery entry points pick it up for phase spans.
+	SetRecorder(*obs.Recorder)
+	// Recorder returns the attached recorder (nil when none).
+	Recorder() *obs.Recorder
 
 	// DisableWAL turns off the write-ahead-log gate (fault injection):
 	// pages may then be installed before their log records are stable.
@@ -124,6 +132,13 @@ func Recover(db DB) (*core.Result, error) {
 	return core.Recover(db.StableState(), db.StableLog(), db.Checkpointed(), db.RedoTest(), db.Analyze())
 }
 
+// RecoverObserved is Recover with telemetry: phase spans, redo-test
+// verdict events, and replay timing flow to the recorder. A nil recorder
+// makes it exactly Recover.
+func RecoverObserved(db DB, rec *obs.Recorder) (*core.Result, error) {
+	return core.RecoverObserved(rec, db.StableState(), db.StableLog(), db.Checkpointed(), db.RedoTest(), db.Analyze())
+}
+
 // base carries the substrate wiring shared by all methods.
 type base struct {
 	store       *storage.Store
@@ -139,6 +154,8 @@ type base struct {
 	// write is folded into recoveryBase. Degraded recovery uses it as the
 	// floor a stale (lost-write) stable page falls below.
 	baseLSNs map[model.Var]core.LSN
+	// rec is the attached telemetry recorder (nil = disabled).
+	rec *obs.Recorder
 }
 
 func newBase(initial *model.State) *base {
@@ -154,6 +171,30 @@ func newBaseMV(initial *model.State) *base {
 	lg := wal.NewManager()
 	return &base{store: st, log: lg, cache: cache.NewMVManager(st, lg),
 		recoveryBase: initial.Clone(), baseLSNs: make(map[model.Var]core.LSN)}
+}
+
+// SetRecorder attaches a telemetry recorder to the method and both its
+// substrates (cache installs, WAL forces). Pass nil to disable.
+func (b *base) SetRecorder(rec *obs.Recorder) {
+	b.rec = rec
+	b.cache.SetRecorder(rec)
+	b.log.SetRecorder(rec)
+}
+
+// Recorder returns the attached telemetry recorder (nil when none).
+func (b *base) Recorder() *obs.Recorder { return b.rec }
+
+// noteExec counts one executed operation; methods call it where they
+// bump opsExecuted.
+func (b *base) noteExec() {
+	b.opsExecuted++
+	b.rec.Inc(obs.MDBExec)
+}
+
+// noteCheckpoint counts one completed checkpoint.
+func (b *base) noteCheckpoint() {
+	b.checkpoints++
+	b.rec.Inc(obs.MDBCheckpoints)
 }
 
 // RecoveryBase returns (a clone of) the state the surviving log's

@@ -1,0 +1,214 @@
+package method
+
+import (
+	"testing"
+	"time"
+
+	"redotheory/internal/model"
+	"redotheory/internal/obs"
+	"redotheory/internal/workload"
+)
+
+// TestRecoverParallelObservedCounters: the instrumented parallel engine
+// must account for every record exactly once — examined splits into
+// admitted plus skipped, replay counts what was admitted, the partition
+// width histogram sums to the replayed records — and every phase of the
+// pipeline must have a recorded duration. Workers increment shared
+// counters concurrently, so running this under -race is the telemetry
+// thread-safety proof.
+func TestRecoverParallelObservedCounters(t *testing.T) {
+	pages := workload.Pages(6)
+	for _, f := range parallelFactories {
+		f := f
+		t.Run(f.name, func(t *testing.T) {
+			ops, err := workload.ForMethod(f.name, 24, pages, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			db := crashedDB(t, f.mk, ops, workload.InitialState(pages), len(ops), 700)
+
+			rec := obs.New()
+			if _, err := RecoverParallel(db, ParallelOptions{Workers: 8, Recorder: rec}); err != nil {
+				t.Fatal(err)
+			}
+
+			examined := rec.CounterValue(obs.MRedoExamined)
+			admitted := rec.CounterValue(obs.MRedoAdmitted)
+			skipped := rec.CounterValue(obs.MRedoSkipped)
+			if examined != admitted+skipped {
+				t.Errorf("examined=%d != admitted=%d + skipped=%d", examined, admitted, skipped)
+			}
+			if got := rec.CounterValue(obs.MReplayRecords); got != admitted {
+				t.Errorf("replay.records=%d, want admitted=%d", got, admitted)
+			}
+			if got := rec.CounterValue(obs.MPartitionPlans); got != 1 {
+				t.Errorf("partition.plans=%d, want 1", got)
+			}
+
+			snap := rec.Snapshot()
+			wh := snap.Sample(obs.MPartitionWidth)
+			if wh.Sum != admitted {
+				t.Errorf("width histogram sums to %d records, want %d", wh.Sum, admitted)
+			}
+			if int64(wh.Count) != rec.CounterValue(obs.MReplayComponents) {
+				t.Errorf("width histogram has %d components, replay.components=%d",
+					wh.Count, rec.CounterValue(obs.MReplayComponents))
+			}
+			for _, phase := range []obs.Phase{
+				obs.PhaseScan, obs.PhaseAnalysis, obs.PhaseDecide,
+				obs.PhasePartition, obs.PhaseReplay, obs.PhaseMerge,
+			} {
+				if h := snap.Duration("phase." + string(phase)); h.Count == 0 {
+					t.Errorf("phase %q has no recorded duration", phase)
+				}
+			}
+		})
+	}
+}
+
+// TestRecoverParallelSpanNesting: the event stream's phase spans must
+// nest like a call stack — decide (with its per-record analysis spans)
+// closes before partition opens, partition before replay, replay before
+// merge.
+func TestRecoverParallelSpanNesting(t *testing.T) {
+	pages := workload.Pages(4)
+	ops := workload.SinglePage(20, pages, 3, false)
+	db := crashedDB(t, func(s *model.State) DB { return NewPhysiological(s) }, ops, workload.InitialState(pages), len(ops), 42)
+
+	rec := obs.New()
+	sink := &obs.MemorySink{}
+	rec.SetSink(sink)
+	if _, err := RecoverParallel(db, ParallelOptions{Workers: 4, Recorder: rec}); err != nil {
+		t.Fatal(err)
+	}
+
+	events := sink.Events()
+	if err := obs.CheckSpanNesting(events); err != nil {
+		t.Fatalf("span nesting: %v", err)
+	}
+	order := make([]obs.Phase, 0, 4)
+	for _, e := range events {
+		if e.Type != obs.EvSpanBegin {
+			continue
+		}
+		if e.Phase == obs.PhaseAnalysis {
+			continue
+		}
+		order = append(order, e.Phase)
+	}
+	want := []obs.Phase{obs.PhaseDecide, obs.PhasePartition, obs.PhaseReplay, obs.PhaseMerge}
+	if len(order) != len(want) {
+		t.Fatalf("top-level span order %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("top-level span order %v, want %v", order, want)
+		}
+	}
+}
+
+// TestRecoverObservedSequential: the instrumented Figure 6 procedure
+// must agree with the plain one and leave a complete account — the
+// umbrella recover span covers scan+analysis+replay, and the verdict
+// events tell the same story as the counters.
+func TestRecoverObservedSequential(t *testing.T) {
+	ps := pages(3)
+	db := NewPhysiological(initialState(ps))
+	for i := 1; i <= 9; i++ {
+		if err := db.Exec(singlePageOp(model.OpID(i), ps[(i-1)%3])); err != nil {
+			t.Fatal(err)
+		}
+		if i%3 == 0 {
+			db.FlushOne()
+		}
+	}
+	db.FlushLog()
+	db.Crash()
+
+	plain, err := Recover(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.New()
+	sink := &obs.MemorySink{}
+	rec.SetSink(sink)
+	observed, err := RecoverObserved(db, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := observed.SameOutcome(plain); err != nil {
+		t.Fatalf("observed recovery diverged from plain: %v", err)
+	}
+
+	admits, skips := 0, 0
+	for _, e := range sink.Events() {
+		switch e.Type {
+		case obs.EvAdmit:
+			admits++
+		case obs.EvSkip:
+			skips++
+		}
+	}
+	if int64(admits) != rec.CounterValue(obs.MRedoAdmitted) {
+		t.Errorf("%d admit events, counter says %d", admits, rec.CounterValue(obs.MRedoAdmitted))
+	}
+	if int64(skips) != rec.CounterValue(obs.MRedoSkipped)+rec.CounterValue(obs.MRedoCheckpointed) {
+		t.Errorf("%d skip events, counters say %d skipped + %d checkpointed",
+			skips, rec.CounterValue(obs.MRedoSkipped), rec.CounterValue(obs.MRedoCheckpointed))
+	}
+	if err := obs.CheckSpanNesting(sink.Events()); err != nil {
+		t.Fatalf("span nesting: %v", err)
+	}
+
+	snap := rec.Snapshot()
+	total := snap.Duration("phase." + string(obs.PhaseRecover)).Sum
+	parts := snap.Duration("phase."+string(obs.PhaseScan)).Sum +
+		snap.Duration("phase."+string(obs.PhaseAnalysis)).Sum +
+		snap.Duration("phase."+string(obs.PhaseReplay)).Sum
+	if total < parts {
+		t.Errorf("recover span %v shorter than its parts %v", time.Duration(total), time.Duration(parts))
+	}
+}
+
+// TestRecoverDegradedObserved: detections must surface as counted
+// events, and the conservative path must account for its full replay.
+func TestRecoverDegradedObserved(t *testing.T) {
+	ps := pages(3)
+	db := NewPhysiological(initialState(ps))
+	rec := obs.New()
+	sink := &obs.MemorySink{}
+	rec.SetSink(sink)
+	db.SetRecorder(rec)
+	for i := 1; i <= 6; i++ {
+		if err := db.Exec(singlePageOp(model.OpID(i), ps[(i-1)%3])); err != nil {
+			t.Fatal(err)
+		}
+		db.FlushOne()
+	}
+	db.FlushLog()
+	db.Crash()
+	db.Store().CorruptPage(ps[0])
+
+	res, err := RecoverDegraded(db, RunToCompletion())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Degraded {
+		t.Fatalf("expected the conservative path, got %+v", res)
+	}
+	if got := rec.CounterValue(obs.MDetections); got != int64(len(res.Detections)) {
+		t.Errorf("detections counter %d, result lists %d", got, len(res.Detections))
+	}
+	if got := rec.CounterValue(obs.MDegradedRuns); got != 1 {
+		t.Errorf("degraded.replays = %d, want 1", got)
+	}
+	detEvents := 0
+	for _, e := range sink.Events() {
+		if e.Type == obs.EvDetection {
+			detEvents++
+		}
+	}
+	if detEvents != len(res.Detections) {
+		t.Errorf("%d detection events, result lists %d", detEvents, len(res.Detections))
+	}
+}

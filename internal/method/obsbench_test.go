@@ -1,0 +1,48 @@
+package method
+
+import (
+	"testing"
+
+	"redotheory/internal/obs"
+	"redotheory/internal/workload"
+)
+
+// benchDB builds the redobench fixture at test scale: a crashed
+// physiological DB whose replay does real recomputation, so the
+// plain-vs-observed pair below measures instrumentation overhead on the
+// recovery hot path (the property cmd/redobench gates in CI).
+func benchDB(b *testing.B) DB {
+	pages := workload.Pages(16)
+	s0 := workload.InitialState(pages)
+	ops := workload.HeavySinglePage(256, pages, 200, 42)
+	db := NewPhysiological(s0)
+	for _, op := range ops {
+		if err := db.Exec(op); err != nil {
+			b.Fatal(err)
+		}
+	}
+	db.FlushLog()
+	db.Crash()
+	return db
+}
+
+func BenchmarkRecoverPlain(b *testing.B) {
+	db := benchDB(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Recover(db); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRecoverObserved(b *testing.B) {
+	db := benchDB(b)
+	rec := obs.New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RecoverObserved(db, rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"redotheory/internal/core"
 	"redotheory/internal/graph"
 	"redotheory/internal/model"
+	"redotheory/internal/obs"
 	"redotheory/internal/partition"
 )
 
@@ -21,6 +22,11 @@ type ParallelOptions struct {
 	// clone and errors if the two outcomes differ — the equivalence
 	// oracle, for tests and paranoid callers.
 	Verify bool
+	// Recorder, when non-nil, receives phase spans (decide, partition,
+	// replay, merge), per-record redo verdicts, the partition width
+	// histogram, and worker-side replay counters. Falls back to the DB's
+	// attached recorder when nil.
+	Recorder *obs.Recorder
 }
 
 // ParallelResult is a core recovery Result plus the plan that produced
@@ -58,9 +64,13 @@ type ParallelResult struct {
 // it works on the fresh projections StableState, StableLog, and a fresh
 // RedoTest return.
 func RecoverParallel(db DB, opts ParallelOptions) (*ParallelResult, error) {
+	rec := opts.Recorder
+	if rec == nil {
+		rec = db.Recorder()
+	}
 	state := db.StableState()
 	log := db.StableLog()
-	res, plan, err := recoverPartitioned(state, log, db.Checkpointed(), db.RedoTest(), db.Analyze(), opts.Workers)
+	res, plan, err := recoverPartitioned(rec, state, log, db.Checkpointed(), db.RedoTest(), db.Analyze(), opts.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -78,11 +88,19 @@ func RecoverParallel(db DB, opts ParallelOptions) (*ParallelResult, error) {
 }
 
 // recoverPartitioned is the engine: decide, partition, replay.
-func recoverPartitioned(state *model.State, log *core.Log, checkpoint graph.Set[model.OpID], redo core.RedoTest, analyze core.AnalyzeFunc, workers int) (*core.Result, *partition.Plan, error) {
-	decision := core.DecideRedo(state, log, checkpoint, redo, analyze)
-	plan := partition.FromRecords(decision.Replay)
+func recoverPartitioned(rec *obs.Recorder, state *model.State, log *core.Log, checkpoint graph.Set[model.OpID], redo core.RedoTest, analyze core.AnalyzeFunc, workers int) (*core.Result, *partition.Plan, error) {
+	decision := core.DecideRedoObserved(rec, state, log, checkpoint, redo, analyze)
 
-	if err := replayPlan(state, plan, workers); err != nil {
+	ps := rec.StartSpan(obs.PhasePartition)
+	plan := partition.FromRecords(decision.Replay)
+	ps.End()
+	rec.Inc(obs.MPartitionPlans)
+	for _, c := range plan.Components {
+		rec.Observe(obs.MPartitionWidth, int64(len(c.Records)))
+	}
+	rec.SetGauge(obs.GPartitionLargest, int64(plan.MaxComponentLen()))
+
+	if err := replayPlan(rec, state, plan, workers); err != nil {
 		return nil, nil, err
 	}
 
@@ -125,12 +143,17 @@ type replayError struct {
 // LSN order. Reads go through a per-component overlay over the shared
 // base state; the base is never mutated until every worker has finished,
 // then the disjoint overlays merge in.
-func replayPlan(state *model.State, plan *partition.Plan, workers int) error {
+func replayPlan(rec *obs.Recorder, state *model.State, plan *partition.Plan, workers int) error {
 	if plan.Ops == 0 {
+		// Record zero-duration replay/merge phases so every observed
+		// recovery reports the full phase breakdown, admitted work or not.
+		rec.ObserveDuration("phase."+string(obs.PhaseReplay), 0)
+		rec.ObserveDuration("phase."+string(obs.PhaseMerge), 0)
 		return nil
 	}
 	workers = poolSize(workers, len(plan.Components))
 
+	rs := rec.StartSpan(obs.PhaseReplay)
 	overlays := make([]model.WriteSet, len(plan.Components))
 	work := make(chan int)
 	errs := make(chan replayError, len(plan.Components))
@@ -145,6 +168,8 @@ func replayPlan(state *model.State, plan *partition.Plan, workers int) error {
 					errs <- err
 					continue
 				}
+				rec.Inc(obs.MReplayComponents)
+				rec.Add(obs.MReplayRecords, int64(len(plan.Components[ci].Records)))
 				overlays[ci] = overlay
 			}
 		}()
@@ -155,6 +180,7 @@ func replayPlan(state *model.State, plan *partition.Plan, workers int) error {
 	close(work)
 	wg.Wait()
 	close(errs)
+	rs.End()
 
 	var first *replayError
 	for e := range errs {
@@ -169,11 +195,13 @@ func replayPlan(state *model.State, plan *partition.Plan, workers int) error {
 
 	// Merge: overlays write disjoint variables, so any order works; use
 	// component order for determinism anyway.
+	ms := rec.StartSpan(obs.PhaseMerge)
 	for _, overlay := range overlays {
 		for x, v := range overlay {
 			state.Set(x, v)
 		}
 	}
+	ms.End()
 	return nil
 }
 

@@ -48,7 +48,7 @@ func (d *Physical) Exec(op *model.Op) error {
 		rec := d.log.Append(img, recordSize(img, model.WriteSet{page: ws[page]}))
 		d.cache.ApplyWrite(page, ws[page], rec.LSN)
 	}
-	d.opsExecuted++
+	d.noteExec()
 	return nil
 }
 
@@ -65,7 +65,7 @@ func (d *Physical) Checkpoint() error {
 		return fmt.Errorf("physical: checkpoint flush: %w", err)
 	}
 	d.log.AppendCheckpoint(d.log.NextLSN())
-	d.checkpoints++
+	d.noteCheckpoint()
 	return nil
 }
 

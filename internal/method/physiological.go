@@ -45,7 +45,7 @@ func (d *Physiological) Exec(op *model.Op) error {
 	}
 	rec := d.log.Append(op, recordSize(op, ws))
 	d.cache.ApplyWrite(page, ws[page], rec.LSN)
-	d.opsExecuted++
+	d.noteExec()
 	return nil
 }
 
@@ -62,7 +62,7 @@ func (d *Physiological) Checkpoint() error {
 		bound = d.log.NextLSN()
 	}
 	d.log.AppendCheckpoint(bound)
-	d.checkpoints++
+	d.noteCheckpoint()
 	return nil
 }
 

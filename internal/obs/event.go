@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// EventType classifies a recovery event.
+type EventType string
+
+const (
+	// EvSpanBegin / EvSpanEnd bracket a recovery phase.
+	EvSpanBegin EventType = "span-begin"
+	EvSpanEnd   EventType = "span-end"
+	// EvAdmit is a redo-test admit: the record will be replayed.
+	EvAdmit EventType = "redo-admit"
+	// EvSkip is a redo-test skip: the record is considered installed.
+	// Verdict carries the reason ("checkpointed" or "redo-test-false").
+	EvSkip EventType = "redo-skip"
+	// EvCacheFlush is a page install (cache → stable storage).
+	EvCacheFlush EventType = "cache-flush"
+	// EvCacheSteal is an older-version install by the multi-version
+	// cache: a blocked page's elder version stolen out to stable storage.
+	EvCacheSteal EventType = "cache-steal"
+	// EvWALForce is a log force that made records stable.
+	EvWALForce EventType = "wal-force"
+	// EvDetection is a degraded-recovery integrity detection.
+	EvDetection EventType = "detection"
+)
+
+// Event is one entry of the recovery event stream. Fields are populated
+// per type; Seq is stamped by the emitting Recorder and totally orders
+// the stream.
+type Event struct {
+	Seq   uint64        `json:"seq"`
+	Type  EventType     `json:"type"`
+	Phase Phase         `json:"phase,omitempty"`   // span events
+	LSN   int64         `json:"lsn,omitempty"`     // record/force LSN
+	Op    string        `json:"op,omitempty"`      // logged operation (admit/skip)
+	Page  string        `json:"page,omitempty"`    // cache events
+	Verdict string      `json:"verdict,omitempty"` // redo-test reason
+	Detail  string      `json:"detail,omitempty"`  // free-form (detections)
+	Dur     time.Duration `json:"dur,omitempty"`   // span-end elapsed
+}
+
+// String renders the event compactly for logs and test failures.
+func (e Event) String() string {
+	switch e.Type {
+	case EvSpanBegin:
+		return fmt.Sprintf("#%d %s %s", e.Seq, e.Type, e.Phase)
+	case EvSpanEnd:
+		return fmt.Sprintf("#%d %s %s (%s)", e.Seq, e.Type, e.Phase, e.Dur)
+	case EvAdmit, EvSkip:
+		return fmt.Sprintf("#%d %s lsn=%d %s [%s]", e.Seq, e.Type, e.LSN, e.Op, e.Verdict)
+	case EvCacheFlush, EvCacheSteal:
+		return fmt.Sprintf("#%d %s page=%s lsn=%d", e.Seq, e.Type, e.Page, e.LSN)
+	case EvWALForce:
+		return fmt.Sprintf("#%d %s through lsn=%d", e.Seq, e.Type, e.LSN)
+	default:
+		return fmt.Sprintf("#%d %s %s", e.Seq, e.Type, e.Detail)
+	}
+}
+
+// Sink receives the event stream. Emit is always called with the
+// recorder's emission lock held, so implementations see events one at a
+// time in sequence order and need no locking of their own against the
+// emitter (they do need it against their own readers).
+type Sink interface {
+	Emit(Event)
+}
+
+// MemorySink buffers the stream in memory — the test and export sink.
+type MemorySink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Emit appends the event.
+func (m *MemorySink) Emit(e Event) {
+	m.mu.Lock()
+	m.events = append(m.events, e)
+	m.mu.Unlock()
+}
+
+// Events returns a copy of the buffered stream.
+func (m *MemorySink) Events() []Event {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Event(nil), m.events...)
+}
+
+// Len returns how many events are buffered.
+func (m *MemorySink) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.events)
+}
+
+// CheckSpanNesting verifies that the stream's span events obey stack
+// discipline — every span-end matches the most recently opened span —
+// and returns the first violation. Phase spans emitted by the recovery
+// engines must nest: analysis inside decide (or recover), the engine
+// phases sequentially inside nothing.
+func CheckSpanNesting(events []Event) error {
+	var stack []Phase
+	for _, e := range events {
+		switch e.Type {
+		case EvSpanBegin:
+			stack = append(stack, e.Phase)
+		case EvSpanEnd:
+			if len(stack) == 0 {
+				return fmt.Errorf("obs: span-end %q with no open span (event %s)", e.Phase, e)
+			}
+			top := stack[len(stack)-1]
+			if top != e.Phase {
+				return fmt.Errorf("obs: span-end %q while %q is the innermost open span (event %s)", e.Phase, top, e)
+			}
+			stack = stack[:len(stack)-1]
+		}
+	}
+	if len(stack) != 0 {
+		return fmt.Errorf("obs: %d spans never ended (innermost %q)", len(stack), stack[len(stack)-1])
+	}
+	return nil
+}

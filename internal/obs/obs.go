@@ -1,0 +1,314 @@
+// Package obs is the recovery telemetry layer: typed atomic metrics, a
+// structured recovery event stream, and snapshot/export plumbing, with
+// zero dependencies beyond the standard library and negligible cost when
+// disabled.
+//
+// The unit of instrumentation is the Recorder. A nil *Recorder is the
+// disabled state: every method is nil-safe and free, so instrumented
+// code threads one recorder pointer through unconditionally and never
+// branches on "is telemetry on". A non-nil Recorder collects three kinds
+// of data:
+//
+//   - Metrics: counters, gauges, and power-of-two histograms (durations
+//     in nanoseconds, plain integer samples). All metric updates are
+//     single atomic operations after first touch, so a Recorder may be
+//     shared freely across goroutines — the parallel replay workers and
+//     concurrent campaign cells increment the same recorder race-free.
+//
+//   - Events: when a Sink is attached (SetSink), the recorder emits a
+//     globally-ordered structured event stream — phase span begin/end,
+//     per-record redo-test verdicts (admit/skip with the reason), cache
+//     flush/steal installs, WAL forces, and degraded-recovery integrity
+//     detections. With no sink attached, emission is a nil check.
+//
+//   - Spans: StartSpan/End wrap a recovery phase; End both observes the
+//     duration into the phase's histogram and emits the span events.
+//     The phases mirror the paper's abstract recover procedure (see
+//     DESIGN.md §9): scan, analysis, decide, partition, replay, merge.
+//
+// Snapshot() freezes everything into a JSON-ready, mergeable value;
+// Report (report.go) is the on-disk schema cmd/redostats renders and
+// validates; ServeDebug (debug.go) exposes live snapshots, expvar, and
+// net/http/pprof for profiling long campaigns in flight.
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Phase names a stage of the recovery procedure. The six stages cover
+// both engines: sequential recovery (Figure 6) runs scan/analysis/replay
+// interleaved; the partitioned engine runs decide (containing scan and
+// analysis), partition, replay, merge.
+type Phase string
+
+const (
+	// PhaseScan is log-record iteration plus the redo test itself.
+	PhaseScan Phase = "scan"
+	// PhaseAnalysis is time inside the method's analysis function.
+	PhaseAnalysis Phase = "analysis"
+	// PhaseDecide is the whole decision phase (scan + analysis, no
+	// application) — core.DecideRedo.
+	PhaseDecide Phase = "decide"
+	// PhasePartition is interference-closure planning over the redo set.
+	PhasePartition Phase = "partition"
+	// PhaseReplay is operation re-application: sequential replay, the
+	// parallel worker pool, or degraded recovery's conservative replay.
+	PhaseReplay Phase = "replay"
+	// PhaseMerge is folding the workers' disjoint overlays into the state.
+	PhaseMerge Phase = "merge"
+	// PhaseRecover is the umbrella span around a whole sequential
+	// recovery (its scan/analysis/replay children nest inside it).
+	PhaseRecover Phase = "recover"
+)
+
+// Metric names recorded by the instrumented packages. Durations land
+// under "phase.<name>" via Span; everything here is a counter unless
+// noted.
+const (
+	// Decision-phase counters (core.DecideRedo / core.Recover).
+	MRedoExamined     = "redo.examined"      // records the redo test saw
+	MRedoAdmitted     = "redo.admitted"      // redo test said replay
+	MRedoSkipped      = "redo.skipped"       // redo test said installed
+	MRedoCheckpointed = "redo.checkpointed"  // skipped via checkpoint set
+	MReplayRecords    = "replay.records"     // operations actually re-applied
+	MReplayComponents = "replay.components"  // components replayed
+	MPartitionPlans   = "partition.plans"    // partition plans built
+	MPartitionWidth   = "partition.width"    // sample histogram: records per component
+	GPartitionLargest = "partition.largest"  // gauge: widest component of the last plan
+	MDegradedRuns     = "degraded.replays"   // conservative full-replay passes
+	MDetections       = "degraded.detections" // integrity detections observed
+
+	// Runtime counters (the DB implementations and substrates).
+	MDBExec        = "db.exec"        // operations executed
+	MDBCheckpoints = "db.checkpoints" // checkpoints taken
+	MCacheFlushes  = "cache.flushes"  // page installs
+	MCacheSteals   = "cache.steals"   // older-version installs (multi-version cache)
+	MCacheGroups   = "cache.group_flushes" // atomic multi-page group installs
+	MWALAppends    = "wal.appends"    // log records appended
+	MWALBytes      = "wal.bytes"      // simulated log bytes appended
+	MWALForces     = "wal.forces"     // log forces that did work
+)
+
+// Recorder collects metrics and (optionally) emits events. The zero
+// value is NOT usable; call New. A nil *Recorder is the disabled
+// recorder: every method no-ops.
+type Recorder struct {
+	counters  sync.Map // string -> *Counter
+	gauges    sync.Map // string -> *Gauge
+	durations sync.Map // string -> *Hist (nanoseconds)
+	samples   sync.Map // string -> *Hist (unitless)
+
+	// sinkMu serializes event emission and sequence assignment so the
+	// stream carries a single global order even under concurrent emitters.
+	sinkMu sync.Mutex
+	sink   Sink
+	seq    uint64
+	// hasSink mirrors sink != nil for a lock-free fast path: with no sink
+	// attached, Emit is one atomic load, and callers can skip building
+	// event payloads entirely (Sinking).
+	hasSink atomic.Bool
+}
+
+// New returns an empty enabled recorder.
+func New() *Recorder { return &Recorder{} }
+
+// SetSink attaches the event sink. Call before instrumented work starts;
+// a nil sink disables events (metrics keep flowing).
+func (r *Recorder) SetSink(s Sink) {
+	if r == nil {
+		return
+	}
+	r.sinkMu.Lock()
+	r.sink = s
+	r.hasSink.Store(s != nil)
+	r.sinkMu.Unlock()
+}
+
+// Sinking reports whether an event sink is attached. Hot paths check it
+// before building event payloads that cost something to construct (an
+// operation rendered to a string), so the metrics-only configuration
+// pays for counters and clocks, never for formatting.
+func (r *Recorder) Sinking() bool {
+	return r != nil && r.hasSink.Load()
+}
+
+// counter returns the named counter, creating it on first touch.
+func (r *Recorder) counter(name string) *Counter {
+	if c, ok := r.counters.Load(name); ok {
+		return c.(*Counter)
+	}
+	c, _ := r.counters.LoadOrStore(name, new(Counter))
+	return c.(*Counter)
+}
+
+// gauge returns the named gauge, creating it on first touch.
+func (r *Recorder) gauge(name string) *Gauge {
+	if g, ok := r.gauges.Load(name); ok {
+		return g.(*Gauge)
+	}
+	g, _ := r.gauges.LoadOrStore(name, new(Gauge))
+	return g.(*Gauge)
+}
+
+// duration returns the named duration histogram.
+func (r *Recorder) duration(name string) *Hist {
+	if h, ok := r.durations.Load(name); ok {
+		return h.(*Hist)
+	}
+	h, _ := r.durations.LoadOrStore(name, newHist())
+	return h.(*Hist)
+}
+
+// sample returns the named sample histogram.
+func (r *Recorder) sample(name string) *Hist {
+	if h, ok := r.samples.Load(name); ok {
+		return h.(*Hist)
+	}
+	h, _ := r.samples.LoadOrStore(name, newHist())
+	return h.(*Hist)
+}
+
+// Inc adds 1 to the named counter.
+func (r *Recorder) Inc(name string) { r.Add(name, 1) }
+
+// Touch materializes the named counters at their current value (zero if
+// new), so snapshots report them even when nothing ever incremented —
+// a run that skipped no records still shows redo.skipped = 0.
+func (r *Recorder) Touch(names ...string) {
+	if r == nil {
+		return
+	}
+	for _, name := range names {
+		r.counter(name)
+	}
+}
+
+// Add adds d to the named counter.
+func (r *Recorder) Add(name string, d int64) {
+	if r == nil {
+		return
+	}
+	r.counter(name).Add(d)
+}
+
+// CounterHandle resolves the named counter once for repeated hot-path
+// updates, skipping the per-call registry lookup. A nil recorder yields
+// a nil handle, whose Add is a no-op.
+func (r *Recorder) CounterHandle(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.counter(name)
+}
+
+// SetGauge sets the named gauge.
+func (r *Recorder) SetGauge(name string, v int64) {
+	if r == nil {
+		return
+	}
+	r.gauge(name).Set(v)
+}
+
+// ObserveDuration records d into the named duration histogram.
+func (r *Recorder) ObserveDuration(name string, d time.Duration) {
+	if r == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	r.duration(name).Observe(int64(d))
+}
+
+// Observe records v into the named sample histogram.
+func (r *Recorder) Observe(name string, v int64) {
+	if r == nil {
+		return
+	}
+	r.sample(name).Observe(v)
+}
+
+// Emit sends an event to the attached sink, stamping its sequence
+// number. Without a sink it is a nil check.
+func (r *Recorder) Emit(e Event) {
+	if r == nil || !r.hasSink.Load() {
+		return
+	}
+	r.sinkMu.Lock()
+	if r.sink != nil {
+		r.seq++
+		e.Seq = r.seq
+		r.sink.Emit(e)
+	}
+	r.sinkMu.Unlock()
+}
+
+// Span is an in-flight phase measurement. A nil *Span (from a nil
+// recorder) ends harmlessly.
+type Span struct {
+	r     *Recorder
+	phase Phase
+	start time.Time
+}
+
+// StartSpan begins a phase span: it emits the span-begin event and
+// starts the clock.
+func (r *Recorder) StartSpan(p Phase) *Span {
+	if r == nil {
+		return nil
+	}
+	r.Emit(Event{Type: EvSpanBegin, Phase: p})
+	return &Span{r: r, phase: p, start: time.Now()}
+}
+
+// End closes the span: it observes the elapsed time into the phase's
+// duration histogram ("phase.<name>"), emits the span-end event, and
+// returns the elapsed time.
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	s.r.ObserveDuration("phase."+string(s.phase), d)
+	s.r.Emit(Event{Type: EvSpanEnd, Phase: s.phase, Dur: d})
+	return d
+}
+
+// CounterValue returns the named counter's current value (0 when absent
+// or the recorder is nil).
+func (r *Recorder) CounterValue(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	if c, ok := r.counters.Load(name); ok {
+		return c.(*Counter).Load()
+	}
+	return 0
+}
+
+// Counter is a monotonically-increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by d (no-op on a nil handle, so disabled
+// recorders stay free in hot loops).
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(d)
+}
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is an atomic last-value-wins gauge.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fullSnapshot builds a snapshot carrying every key Validate requires.
+func fullSnapshot() Snapshot {
+	r := New()
+	r.Add(MRedoExamined, 8)
+	r.Add(MRedoAdmitted, 3)
+	r.Add(MRedoSkipped, 5)
+	for _, p := range []Phase{PhaseScan, PhaseAnalysis, PhaseDecide, PhasePartition, PhaseReplay, PhaseMerge} {
+		r.ObserveDuration("phase."+string(p), time.Microsecond)
+	}
+	r.Observe(MPartitionWidth, 2)
+	r.Observe(MPartitionWidth, 5)
+	return r.Snapshot()
+}
+
+func TestReportRoundTripAndValidate(t *testing.T) {
+	rep := NewReport("test", map[string]Snapshot{"physiological": fullSnapshot(), "genlsn": fullSnapshot()})
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("valid report rejected: %v", err)
+	}
+	if got := rep.Totals.Counter(MRedoExamined); got != 16 {
+		t.Fatalf("totals examined = %d, want 16", got)
+	}
+
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadReportFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("round-tripped report rejected: %v", err)
+	}
+	if len(back.Methods) != 2 {
+		t.Fatalf("round trip lost methods: %v", back.MethodNames())
+	}
+}
+
+func TestReportValidateCatchesMissingKeys(t *testing.T) {
+	// Missing phase durations and counters.
+	bare := New()
+	bare.Add(MRedoExamined, 1)
+	rep := NewReport("test", map[string]Snapshot{"m": bare.Snapshot()})
+	err := rep.Validate()
+	if err == nil {
+		t.Fatal("bare snapshot passed validation")
+	}
+	for _, want := range []string{"phase.decide", "phase.merge", MRedoAdmitted, MPartitionWidth} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("validation error does not name %q:\n%v", want, err)
+		}
+	}
+
+	// Wrong schema and no methods.
+	empty := &Report{Schema: "bogus"}
+	err = empty.Validate()
+	if err == nil || !strings.Contains(err.Error(), "schema") || !strings.Contains(err.Error(), "no methods") {
+		t.Fatalf("empty report error = %v", err)
+	}
+}
+
+func TestRenderTableAndWidths(t *testing.T) {
+	rep := NewReport("test", map[string]Snapshot{"genlsn": fullSnapshot()})
+	var tbl, widths strings.Builder
+	rep.RenderTable(&tbl)
+	rep.RenderWidths(&widths)
+	for _, want := range []string{"genlsn", "selectivity", "0.375"} {
+		if !strings.Contains(tbl.String(), want) {
+			t.Fatalf("table missing %q:\n%s", want, tbl.String())
+		}
+	}
+	if !strings.Contains(widths.String(), "partition widths (2 components") {
+		t.Fatalf("widths rendering:\n%s", widths.String())
+	}
+	// Empty totals render a placeholder, not a panic.
+	var none strings.Builder
+	(&Report{Totals: &Snapshot{}}).RenderWidths(&none)
+	if !strings.Contains(none.String(), "no components") {
+		t.Fatalf("empty widths rendering: %q", none.String())
+	}
+}
+
+func TestBucketBounds(t *testing.T) {
+	cases := []struct{ v, lo, hi int64 }{{0, 0, 0}, {1, 1, 1}, {2, 2, 3}, {3, 2, 3}, {4, 4, 7}, {1000, 512, 1023}}
+	for _, c := range cases {
+		b := bucketOf(c.v)
+		lo, hi := bucketBounds(b)
+		if c.v < lo || c.v > hi || lo != c.lo || hi != c.hi {
+			t.Fatalf("value %d → bucket %d [%d,%d], want [%d,%d]", c.v, b, lo, hi, c.lo, c.hi)
+		}
+	}
+}

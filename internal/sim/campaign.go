@@ -87,6 +87,9 @@ func RunFaulted(mk Factory, cfg Config, plan fault.Plan) (*FaultResult, error) {
 	}
 
 	db := mk(cfg.Initial)
+	if cfg.Recorder != nil {
+		db.SetRecorder(cfg.Recorder)
+	}
 	inj := plan.New()
 	db.Store().SetInjector(inj)
 	rng := rand.New(rand.NewSource(cfg.Seed))
@@ -162,6 +165,18 @@ func RunFaulted(mk Factory, cfg Config, plan fault.Plan) (*FaultResult, error) {
 	}
 
 	res.Outcome = classify(final, res.Detections, inj.HasFired(), oracleFull, oracleRepaired)
+
+	// Observed partitioned pass: clean substrates honor the clean-crash
+	// contract, so the method's redo test is trustworthy and a parallel
+	// recovery yields the decide/partition/replay/merge phase breakdown
+	// and partition width histogram for the rollup. Faulted substrates
+	// are skipped — their redo tests may be poisoned by the very damage
+	// degraded recovery just detected.
+	if cfg.Recorder != nil && !final.Unrecoverable && len(final.Detections) == 0 {
+		if _, err := method.RecoverParallel(db, method.ParallelOptions{Workers: 2, Recorder: cfg.Recorder}); err != nil {
+			return nil, fmt.Errorf("sim: %s: observed parallel recovery: %w", db.Name(), err)
+		}
+	}
 	return res, nil
 }
 
@@ -255,6 +270,11 @@ type CampaignConfig struct {
 	// its own cell (method, seed, kind, crash point) and results are
 	// returned in canonical sorted order either way.
 	Workers int
+	// Metrics, when non-nil, collects per-method telemetry rollups across
+	// every cell: execution/WAL/cache counters, degraded-recovery
+	// detections, and (on verified-clean cells) the full phase breakdown
+	// and partition width histogram from an observed parallel recovery.
+	Metrics *CampaignMetrics
 }
 
 // campaignCell is one point of the campaign matrix, fully determined
@@ -267,13 +287,14 @@ type campaignCell struct {
 	seed   int64
 }
 
-func (c campaignCell) run(initial *model.State, truncateProb float64) (*FaultResult, error) {
+func (c campaignCell) run(initial *model.State, truncateProb float64, metrics *CampaignMetrics) (*FaultResult, error) {
 	r, err := RunFaulted(c.method.New, Config{
 		Ops:          c.ops,
 		Initial:      initial,
 		CrashAfter:   c.crash,
 		Seed:         c.seed*1000 + int64(c.crash),
 		TruncateProb: truncateProb,
+		Recorder:     metrics.Recorder(c.method.Name),
 	}, fault.Plan{Seed: c.seed*7919 + int64(c.crash), Kind: c.kind})
 	if err != nil {
 		return nil, fmt.Errorf("sim: campaign %s/%s/crash=%d/seed=%d: %w", c.method.Name, c.kind, c.crash, c.seed, err)
@@ -334,7 +355,7 @@ func Campaign(cfg CampaignConfig) ([]*FaultResult, error) {
 	}
 	if workers <= 1 {
 		for i, c := range cells {
-			r, err := c.run(initial, cfg.TruncateProb)
+			r, err := c.run(initial, cfg.TruncateProb, cfg.Metrics)
 			if err != nil {
 				return nil, err
 			}
@@ -356,7 +377,7 @@ func Campaign(cfg CampaignConfig) ([]*FaultResult, error) {
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				r, err := cells[i].run(initial, cfg.TruncateProb)
+				r, err := cells[i].run(initial, cfg.TruncateProb, cfg.Metrics)
 				if err != nil {
 					// Keep the error of the earliest cell, matching what
 					// a sequential sweep would have reported.

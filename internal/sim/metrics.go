@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"sync"
+
+	"redotheory/internal/obs"
+)
+
+// CampaignMetrics aggregates telemetry across a campaign (or any other
+// multi-method sweep): one obs.Recorder per method, shared live by every
+// run of that method. Recorders are race-clean, so concurrent campaign
+// workers feed the same per-method recorder without coordination; the
+// rollup is a point-in-time snapshot per method.
+type CampaignMetrics struct {
+	mu        sync.Mutex
+	recorders map[string]*obs.Recorder
+}
+
+// NewCampaignMetrics returns an empty per-method metric aggregator.
+func NewCampaignMetrics() *CampaignMetrics {
+	return &CampaignMetrics{recorders: make(map[string]*obs.Recorder)}
+}
+
+// Recorder returns the method's shared recorder, creating it on first
+// use. Safe for concurrent callers; nil receivers return a nil (disabled)
+// recorder.
+func (cm *CampaignMetrics) Recorder(methodName string) *obs.Recorder {
+	if cm == nil {
+		return nil
+	}
+	cm.mu.Lock()
+	defer cm.mu.Unlock()
+	r, ok := cm.recorders[methodName]
+	if !ok {
+		r = obs.New()
+		cm.recorders[methodName] = r
+	}
+	return r
+}
+
+// Snapshots returns a point-in-time snapshot per method.
+func (cm *CampaignMetrics) Snapshots() map[string]obs.Snapshot {
+	if cm == nil {
+		return nil
+	}
+	cm.mu.Lock()
+	defer cm.mu.Unlock()
+	out := make(map[string]obs.Snapshot, len(cm.recorders))
+	for name, r := range cm.recorders {
+		out[name] = r.Snapshot()
+	}
+	return out
+}
+
+// Report renders the aggregator into the v1 metrics report.
+func (cm *CampaignMetrics) Report(source string) *obs.Report {
+	return obs.NewReport(source, cm.Snapshots())
+}

@@ -11,10 +11,13 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"sort"
+	"time"
 
 	"redotheory/internal/core"
 	"redotheory/internal/method"
 	"redotheory/internal/model"
+	"redotheory/internal/obs"
 )
 
 // Factory builds a fresh DB under some method from an initial state.
@@ -55,6 +58,11 @@ type Config struct {
 	// parallel recovery (method.RecoverParallel) with that many workers
 	// and records whether it reproduced the sequential outcome.
 	ParallelWorkers int
+	// Recorder, when non-nil, is attached to the DB for the whole run
+	// (exec/flush/checkpoint/WAL counters) and threaded through recovery
+	// (phase spans, redo verdicts). Recorders are race-clean, so one may
+	// be shared across concurrent runs to aggregate a sweep.
+	Recorder *obs.Recorder
 }
 
 // Result reports one simulation run.
@@ -91,6 +99,8 @@ type Result struct {
 	// ParallelComponents is how many independent components the parallel
 	// plan replayed (0 when ParallelWorkers was off).
 	ParallelComponents int
+	// Wall is the wall-clock duration of the sequential recovery pass.
+	Wall time.Duration
 }
 
 // Run executes one simulation.
@@ -113,6 +123,9 @@ func Run(mk Factory, cfg Config) (*Result, error) {
 	}
 
 	db := mk(cfg.Initial)
+	if cfg.Recorder != nil {
+		db.SetRecorder(cfg.Recorder)
+	}
 	if cfg.DisableWAL {
 		db.DisableWAL()
 	}
@@ -193,7 +206,9 @@ func Run(mk Factory, cfg Config) (*Result, error) {
 	}
 
 	// Recovery (fresh redo test) and verification.
-	rec, err := method.Recover(db)
+	start := time.Now()
+	rec, err := method.RecoverObserved(db, cfg.Recorder)
+	res.Wall = time.Since(start)
 	if err != nil {
 		res.RecoverErr = err
 		return res, nil
@@ -235,9 +250,17 @@ func Sweep(mk Factory, ops []*model.Op, initial *model.State, seed int64) ([]*Re
 // method.RecoverParallel and records agreement with the sequential
 // procedure.
 func SweepParallel(mk Factory, ops []*model.Op, initial *model.State, seed int64, workers int) ([]*Result, error) {
+	return SweepObserved(mk, ops, initial, seed, workers, nil)
+}
+
+// SweepObserved is SweepParallel with a telemetry recorder attached to
+// every run: the recorder accumulates execution counters, phase spans
+// from both the sequential and (when workers > 0) partitioned recovery
+// passes, and the partition width histogram across all crash points.
+func SweepObserved(mk Factory, ops []*model.Op, initial *model.State, seed int64, workers int, rec *obs.Recorder) ([]*Result, error) {
 	out := make([]*Result, 0, len(ops)+1)
 	for crash := 0; crash <= len(ops); crash++ {
-		r, err := Run(mk, Config{Ops: ops, Initial: initial, CrashAfter: crash, Seed: seed + int64(crash), ParallelWorkers: workers})
+		r, err := Run(mk, Config{Ops: ops, Initial: initial, CrashAfter: crash, Seed: seed + int64(crash), ParallelWorkers: workers, Recorder: rec})
 		if err != nil {
 			return nil, err
 		}
@@ -257,11 +280,22 @@ type Summary struct {
 	// ParallelOK counts runs whose parallel-recovery cross-check agreed
 	// with sequential recovery (equal to Runs when the check was off).
 	ParallelOK int
+	// ReplayedP50 and ReplayedP99 are per-run replay-count percentiles
+	// across the sweep (0 for an empty sweep).
+	ReplayedP50 int
+	ReplayedP99 int
+	// Wall is the summed wall-clock time of the sequential recovery
+	// passes; WallP50/WallP99 are the per-run percentiles.
+	Wall    time.Duration
+	WallP50 time.Duration
+	WallP99 time.Duration
 }
 
 // Summarize folds sweep results.
 func Summarize(rs []*Result) Summary {
 	var s Summary
+	replayed := make([]int64, 0, len(rs))
+	walls := make([]int64, 0, len(rs))
 	for _, r := range rs {
 		s.Method = r.Method
 		s.Runs++
@@ -276,8 +310,34 @@ func Summarize(rs []*Result) Summary {
 		}
 		s.Replayed += r.Replayed
 		s.Examined += r.Examined
+		s.Wall += r.Wall
+		replayed = append(replayed, int64(r.Replayed))
+		walls = append(walls, int64(r.Wall))
 	}
+	s.ReplayedP50 = int(percentileInt64(replayed, 50))
+	s.ReplayedP99 = int(percentileInt64(replayed, 99))
+	s.WallP50 = time.Duration(percentileInt64(walls, 50))
+	s.WallP99 = time.Duration(percentileInt64(walls, 99))
 	return s
+}
+
+// percentileInt64 is the nearest-rank percentile of vs, 0 when empty —
+// guarded the same way rate guards an empty denominator.
+func percentileInt64(vs []int64, p int) int64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	sorted := make([]int64, len(vs))
+	copy(sorted, vs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := (len(sorted)*p + 99) / 100
+	if idx < 1 {
+		idx = 1
+	}
+	if idx > len(sorted) {
+		idx = len(sorted)
+	}
+	return sorted[idx-1]
 }
 
 // rate divides num by den, returning 0 for an empty denominator so an

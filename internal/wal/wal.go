@@ -13,6 +13,7 @@ import (
 	"redotheory/internal/core"
 	"redotheory/internal/fault"
 	"redotheory/internal/model"
+	"redotheory/internal/obs"
 )
 
 // CorruptRecordError reports a stable log record whose contents no
@@ -50,6 +51,9 @@ type Manager struct {
 	bytesStable int
 	// Forces counts Flush calls that did work, a WAL-overhead metric.
 	Forces int
+	// rec is the attached telemetry recorder (nil = disabled): appended
+	// records and effective forces are counted, forces emit events.
+	rec *obs.Recorder
 
 	// Integrity metadata (the media-fault detection surface):
 
@@ -82,6 +86,9 @@ func NewManager() *Manager {
 		truncatedBefore: 1,
 	}
 }
+
+// SetRecorder attaches a telemetry recorder. Pass nil to disable.
+func (m *Manager) SetRecorder(rec *obs.Recorder) { m.rec = rec }
 
 // recordSum is the per-record integrity checksum: LSN plus the logged
 // operation's identity.
@@ -123,6 +130,8 @@ func (m *Manager) Append(op *model.Op, size int) *core.Record {
 	m.chain[r.LSN] = fault.Sum(
 		strconv.FormatUint(m.chainAt(r.LSN-1), 16),
 		strconv.FormatUint(sum, 16))
+	m.rec.Inc(obs.MWALAppends)
+	m.rec.Add(obs.MWALBytes, int64(size))
 	return r
 }
 
@@ -141,6 +150,8 @@ func (m *Manager) AppendCheckpoint(payload interface{}) Checkpoint {
 func (m *Manager) Flush() {
 	if m.stableLSN+1 < m.log.NextLSN() {
 		m.Forces++
+		m.rec.Inc(obs.MWALForces)
+		m.rec.Emit(obs.Event{Type: obs.EvWALForce, LSN: int64(m.log.NextLSN() - 1)})
 	}
 	m.stableLSN = m.log.NextLSN() - 1
 	m.bytesStable = m.bytesTotal
@@ -157,6 +168,8 @@ func (m *Manager) FlushTo(lsn core.LSN) {
 	}
 	m.stableLSN = lsn
 	m.Forces++
+	m.rec.Inc(obs.MWALForces)
+	m.rec.Emit(obs.Event{Type: obs.EvWALForce, LSN: int64(lsn)})
 	// Approximate stable bytes: proportional accounting is unnecessary;
 	// experiments flush whole-log before measuring.
 	m.bytesStable = m.bytesTotal
