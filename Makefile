@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race soak fuzz bench bench-full experiments examples tools campaign metrics cover clean
+.PHONY: all build vet test test-short race soak fuzz fuzz-smoke bench bench-full experiments examples tools campaign metrics cover clean
 
 all: build vet test
 
@@ -29,6 +29,13 @@ fuzz:
 	$(GO) test -fuzz FuzzInsertSequence -fuzztime 30s ./internal/btree/
 	$(GO) test -fuzz FuzzPageDecode -fuzztime 30s ./internal/btree/
 
+# fuzz-smoke is the differential crash-point fuzzer on a fixed-seed
+# grid under the race detector: every cell's sequential, parallel, and
+# degraded recoveries must agree with the determined state. Exits 1 on
+# any oracle disagreement; repro artifacts land in fuzzout/.
+fuzz-smoke:
+	$(GO) run -race ./cmd/redofuzz -seeds 2 -histories 3 -faults -shrink -budget 30s -out fuzzout
+
 # bench runs the recovery benchmarks and the sequential-vs-parallel
 # comparison; redobench writes BENCH_parallel.json and fails when the
 # parallel engine breaks its perf contract (slower than sequential).
@@ -50,6 +57,7 @@ examples:
 	$(GO) run ./examples/checker
 	$(GO) run ./examples/onlineaudit
 	$(GO) run ./examples/mediafault
+	$(GO) run ./examples/fuzzrepro
 
 tools:
 	$(GO) run ./cmd/redograph -all

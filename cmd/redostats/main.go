@@ -42,6 +42,13 @@ func main() {
 		return
 	}
 
+	// Rendering a structurally corrupt report produces garbage tables, so
+	// the render path validates too and names the schema gaps instead.
+	if err := rep.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "redostats: %s: refusing to render an invalid report: %v\n", path, err)
+		os.Exit(1)
+	}
+
 	fmt.Printf("source: %s  generated: %s\n\n", rep.Source, rep.GeneratedAt)
 	rep.RenderTable(os.Stdout)
 	if *widths {

@@ -1,0 +1,151 @@
+package fuzz
+
+import (
+	"testing"
+	"time"
+
+	"redotheory/internal/model"
+	"redotheory/internal/obs"
+)
+
+// TestCleanGridAgrees is the fuzzer's own soundness check: over the full
+// default method table, every clean cell must pass all six oracle legs.
+// A failure here is a real recovery bug (or an oracle bug), never noise.
+func TestCleanGridAgrees(t *testing.T) {
+	rec := obs.New()
+	rep, err := Run(Config{Seeds: 1, Histories: 1, MaxOps: 8, Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range rep.Failures {
+		t.Errorf("oracle disagreement: %s: %s: %s", f.Cell.String(), f.Check, f.Detail)
+	}
+	// 19 shapes across the 7 methods, 9 crash points each.
+	if rep.Cells < 150 {
+		t.Fatalf("grid covered only %d cells", rep.Cells)
+	}
+	if rep.Histories != 19 {
+		t.Fatalf("histories = %d, want 19 (one per method × shape)", rep.Histories)
+	}
+	if len(rep.PartitionShapes) < 2 {
+		t.Fatalf("partition-shape coverage %v is degenerate", rep.PartitionShapes)
+	}
+	if rep.RedoSizes < 2 {
+		t.Fatalf("redo-size coverage %d is degenerate", rep.RedoSizes)
+	}
+	if got := rec.CounterValue(MCells); got != int64(rep.Cells) {
+		t.Fatalf("recorder cells = %d, report says %d", got, rep.Cells)
+	}
+	if rec.CounterValue(MDisagreements) != 0 {
+		t.Fatalf("recorder counted disagreements on a clean grid")
+	}
+}
+
+// TestFaultCellsNeverSilent runs the Faults mode: every fault kind is
+// exercised per history, and no cell may classify as silent corruption.
+func TestFaultCellsNeverSilent(t *testing.T) {
+	rep, err := Run(Config{Seeds: 1, Histories: 1, MaxOps: 8, Faults: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range rep.Failures {
+		t.Errorf("failure: %s: %s: %s", f.Cell.String(), f.Check, f.Detail)
+	}
+	if len(rep.FaultKinds) != 6 {
+		t.Fatalf("fault kinds exercised = %v, want all 6", rep.FaultKinds)
+	}
+	if rep.FaultCells != rep.Histories*6 {
+		t.Fatalf("fault cells = %d, want %d (histories × kinds)", rep.FaultCells, rep.Histories*6)
+	}
+}
+
+// TestRunIsDeterministic pins seeded reproducibility: two runs with the
+// same config must produce identical coverage and cell counts.
+func TestRunIsDeterministic(t *testing.T) {
+	run := func() *Report {
+		rep, err := Run(Config{Seeds: 2, Histories: 1, MaxOps: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if a.Cells != b.Cells || a.Histories != b.Histories || a.RedoSizes != b.RedoSizes {
+		t.Fatalf("runs diverge: %+v vs %+v", a, b)
+	}
+	if len(a.PartitionShapes) != len(b.PartitionShapes) {
+		t.Fatalf("partition-shape coverage diverges: %v vs %v", a.PartitionShapes, b.PartitionShapes)
+	}
+	for i := range a.PartitionShapes {
+		if a.PartitionShapes[i] != b.PartitionShapes[i] {
+			t.Fatalf("partition-shape coverage diverges at %d: %v vs %v", i, a.PartitionShapes, b.PartitionShapes)
+		}
+	}
+}
+
+// TestBudgetTruncatesCleanly pins the budget contract: an expired budget
+// stops the grid and marks the report truncated instead of erroring.
+func TestBudgetTruncatesCleanly(t *testing.T) {
+	rep, err := Run(Config{Seeds: 100, Histories: 100, MaxOps: 8, Budget: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Truncated {
+		t.Fatalf("nanosecond budget did not truncate the run: %d cells", rep.Cells)
+	}
+}
+
+// TestInjectedOracleBugIsCaught wires a synthetic oracle bug through the
+// test-only hook and asserts the fuzzer reports it: the differential
+// harness itself (generation → execution → oracle → failure collection)
+// detects a planted disagreement.
+func TestInjectedOracleBugIsCaught(t *testing.T) {
+	bug := func(ops []*model.Op, crash int) string {
+		for _, op := range ops[:crash] {
+			if op.WritesVar("pg01") {
+				return "synthetic disagreement: pg01 written before the crash"
+			}
+		}
+		return ""
+	}
+	rec := obs.New()
+	rep, err := Run(Config{Seeds: 1, Histories: 1, MaxOps: 8, Recorder: rec, failCheck: bug})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Failures) == 0 {
+		t.Fatal("planted oracle bug produced no failures")
+	}
+	for _, f := range rep.Failures {
+		if f.Check != "injected" {
+			t.Fatalf("failure check = %q, want %q", f.Check, "injected")
+		}
+		if f.Artifact == nil {
+			t.Fatal("failure carries no artifact")
+		}
+	}
+	if got := rec.CounterValue(MDisagreements); got != int64(len(rep.Failures)) {
+		t.Fatalf("recorder disagreements = %d, report has %d", got, len(rep.Failures))
+	}
+}
+
+// TestExecuteHonorsLiteralZeroProbabilities distinguishes the fuzzer's
+// execution loop from sim.Run: a schedule of literal zeros must perform
+// no background flushes, forces, or checkpoints — sim.Config would remap
+// those zeros to its defaults, which would make shrunk quiet schedules
+// unrepresentable.
+func TestExecuteHonorsLiteralZeroProbabilities(t *testing.T) {
+	cell := mkCell(t, "physiological", 6, 6, Schedule{Seed: 7})
+	db, err := execute(factoryFor(t, "physiological"), cell, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := db.Stats()
+	if st.PageFlushes != 0 || st.Checkpoints != 0 {
+		t.Fatalf("quiet schedule still flushed/checkpointed: %+v", st)
+	}
+	// Nothing was forced or stolen, so no operation survives the crash.
+	if n := db.StableLog().Len(); n != 0 {
+		t.Fatalf("quiet schedule left %d stable records", n)
+	}
+}

@@ -1,0 +1,143 @@
+package fuzz
+
+import (
+	"fmt"
+
+	"redotheory/internal/core"
+	"redotheory/internal/method"
+	"redotheory/internal/model"
+	"redotheory/internal/obs"
+	"redotheory/internal/sim"
+)
+
+// disagreement is one oracle leg's dissent.
+type disagreement struct {
+	check  string
+	detail string
+}
+
+// coverage carries the per-cell coverage observations.
+type coverage struct {
+	replayed   int
+	examined   int
+	components int
+	partSig    string
+}
+
+// checkCell executes one cell and runs the full differential oracle
+// over the crash survivors:
+//
+//  1. oracle state — the recovery base plus the stable log replayed in
+//     log order. By Lemma 1 and Theorem 3 this is the determined state,
+//     the unique correct recovery outcome for a clean crash.
+//  2. invariant — the core checker's explainability verdict on the
+//     stable state, checkpoint set, and redo test.
+//  3. determined-state — the state graph's final state must equal the
+//     sequential oracle replay (the Theorem 3 identity itself).
+//  4. sequential — method.Recover must reach the oracle state.
+//  5. parallel — method.RecoverParallel must reproduce the sequential
+//     outcome bit for bit (SameOutcome).
+//  6. degraded — method.RecoverDegraded on these undamaged substrates
+//     must take its fast path (no detections, not degraded), reach the
+//     oracle state, and pass its own audit. It runs last because its
+//     conservative path would mutate the store in place; on a clean
+//     cell the fast path leaves the survivors untouched.
+//
+// A non-nil disagreement identifies the first leg that dissented. The
+// error return is reserved for harness breakage.
+func checkCell(m sim.NamedFactory, cell Cell, rec *obs.Recorder, failCheck func(ops []*model.Op, crash int) string) (*disagreement, *coverage, error) {
+	db, err := execute(m.New, cell, rec)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	stableLog := db.StableLog()
+	base := db.RecoveryBase()
+
+	// Leg 1: the oracle state.
+	oracle := db.RecoveryBase()
+	for _, op := range stableLog.Ops() {
+		if _, err := oracle.Apply(op); err != nil {
+			return nil, nil, fmt.Errorf("fuzz: oracle replay: %w", err)
+		}
+	}
+
+	// Test-only injected oracle bug (see Config.failCheck).
+	if failCheck != nil {
+		if msg := failCheck(cell.History.Ops, cell.Crash); msg != "" {
+			return &disagreement{check: "injected", detail: msg}, nil, nil
+		}
+	}
+
+	// Legs 2 and 3: explainability and the determined state.
+	checker, err := core.NewChecker(stableLog, base)
+	if err != nil {
+		return nil, nil, fmt.Errorf("fuzz: building checker: %w", err)
+	}
+	if chk := checker.Check(db.StableState(), stableLog, db.Checkpointed(), db.RedoTest(), db.Analyze(), false); !chk.OK {
+		return &disagreement{check: "invariant", detail: fmt.Sprintf("%v", chk.Violations)}, nil, nil
+	}
+	if !checker.FinalState().Equal(oracle) {
+		return &disagreement{check: "determined-state",
+			detail: "state graph final state diverges from sequential log replay"}, nil, nil
+	}
+
+	// Leg 4: sequential recovery.
+	seq, err := method.RecoverObserved(db, rec)
+	if err != nil {
+		return &disagreement{check: "sequential-error", detail: err.Error()}, nil, nil
+	}
+	if !seq.State.Equal(oracle) {
+		return &disagreement{check: "sequential-oracle",
+			detail: fmt.Sprintf("recovered state diverges from oracle (replayed %d of %d stable ops)",
+				len(seq.RedoSet), stableLog.Len())}, nil, nil
+	}
+
+	// Leg 5: partitioned parallel recovery.
+	par, err := method.RecoverParallel(db, method.ParallelOptions{Workers: cell.Workers, Recorder: rec})
+	if err != nil {
+		return &disagreement{check: "parallel-error", detail: err.Error()}, nil, nil
+	}
+	if err := par.SameOutcome(seq); err != nil {
+		return &disagreement{check: "parallel-divergence", detail: err.Error()}, nil, nil
+	}
+
+	cov := &coverage{
+		replayed:   len(seq.RedoSet),
+		examined:   seq.Examined,
+		components: par.Plan.Components,
+		partSig:    par.Plan.Signature(),
+	}
+
+	// Leg 6: degraded recovery on clean substrates.
+	deg, err := method.RecoverDegraded(db, method.RunToCompletion())
+	if err != nil {
+		return &disagreement{check: "degraded-error", detail: err.Error()}, cov, nil
+	}
+	switch {
+	case len(deg.Detections) > 0:
+		return &disagreement{check: "degraded-spurious-detection",
+			detail: fmt.Sprintf("clean substrates, detections %v", deg.Detections)}, cov, nil
+	case deg.Degraded:
+		return &disagreement{check: "degraded-path",
+			detail: "clean substrates routed to the conservative path"}, cov, nil
+	case deg.Unrecoverable:
+		return &disagreement{check: "degraded-unrecoverable",
+			detail: "clean substrates declared unrecoverable"}, cov, nil
+	case deg.State == nil || !deg.State.Equal(oracle):
+		return &disagreement{check: "degraded-state",
+			detail: "degraded recovery diverges from oracle"}, cov, nil
+	case deg.Audit == nil || !deg.Audit.OK:
+		return &disagreement{check: "degraded-audit",
+			detail: fmt.Sprintf("degraded audit failed: %v", auditViolations(deg))}, cov, nil
+	}
+
+	return nil, cov, nil
+}
+
+func auditViolations(deg *method.DegradedResult) interface{} {
+	if deg.Audit == nil {
+		return "no audit report"
+	}
+	return deg.Audit.Violations
+}

@@ -1,0 +1,150 @@
+package fuzz
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"redotheory/internal/model"
+	"redotheory/internal/sim"
+	"redotheory/internal/workload"
+)
+
+// TestArtifactRoundTripPreservesBehavior pins the OpSpec contract: an
+// operation reconstructed from its artifact spec computes bit-identical
+// writes, because ReadWrite's digest is a pure function of (id, name,
+// reads, writes) and the values read.
+func TestArtifactRoundTripPreservesBehavior(t *testing.T) {
+	cell := mkCell(t, "genlsn", 8, 5, scheduleProfiles[1])
+	cell.Schedule.Seed = 21
+	art := NewArtifact(cell, "sequential-oracle", "test detail")
+	data, err := art.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeArtifact(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Method != cell.History.Method || back.Crash != cell.Crash || back.Schedule != cell.Schedule {
+		t.Fatalf("artifact coordinates diverge: %+v", back)
+	}
+	rebuilt, err := back.Cell()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same ops, same behavior: apply both histories to fresh states.
+	apply := func(ops []*model.Op) *model.State {
+		s := workload.InitialState(workload.Pages(cell.History.Pages))
+		for _, op := range ops {
+			if _, err := s.Apply(op); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return s
+	}
+	if !apply(cell.History.Ops).Equal(apply(rebuilt.History.Ops)) {
+		t.Fatal("reconstructed history computes different states")
+	}
+}
+
+// TestReplayPassesOnCleanCell: replaying an artifact of a passing cell
+// reports no failure, twice, deterministically.
+func TestReplayPassesOnCleanCell(t *testing.T) {
+	cell := mkCell(t, "physiological", 6, 4, scheduleProfiles[0])
+	cell.Schedule.Seed = 17
+	art := NewArtifact(cell, "", "")
+	for i := 0; i < 2; i++ {
+		fail, err := Replay(sim.DefaultMethods(), art)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fail != nil {
+			t.Fatalf("replay %d reports %s: %s", i, fail.Check, fail.Detail)
+		}
+	}
+}
+
+// TestReplayUnknownMethodErrors: an artifact naming a method outside the
+// table is an error, not a silent pass.
+func TestReplayUnknownMethodErrors(t *testing.T) {
+	cell := mkCell(t, "physiological", 4, 2, Schedule{Seed: 1})
+	art := NewArtifact(cell, "", "")
+	art.Method = "no-such-method"
+	if _, err := Replay(sim.DefaultMethods(), art); err == nil {
+		t.Fatal("unknown method replayed without error")
+	}
+}
+
+// TestArtifactValidateRejectsCorruptInputs mirrors the obs report
+// hardening: a malformed artifact errors clearly instead of producing a
+// zero-value cell.
+func TestArtifactValidateRejectsCorruptInputs(t *testing.T) {
+	base := func() *Artifact {
+		return NewArtifact(mkCell(t, "physical", 4, 3, Schedule{Seed: 1}), "c", "d")
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Artifact)
+		want   string
+	}{
+		{"wrong schema", func(a *Artifact) { a.Schema = "bogus" }, "schema"},
+		{"no method", func(a *Artifact) { a.Method = "" }, "method"},
+		{"zero pages", func(a *Artifact) { a.Pages = 0 }, "page count"},
+		{"crash out of range", func(a *Artifact) { a.Crash = len(a.Ops) + 1 }, "out of range"},
+		{"negative crash", func(a *Artifact) { a.Crash = -1 }, "out of range"},
+		{"op without writes", func(a *Artifact) { a.Ops[0].Writes = nil }, "no writes"},
+		{"non-positive op id", func(a *Artifact) { a.Ops[0].ID = 0 }, "non-positive id"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			a := base()
+			c.mutate(a)
+			err := a.Validate()
+			if err == nil {
+				t.Fatal("corrupt artifact validated")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error does not mention %q: %v", c.want, err)
+			}
+		})
+	}
+	if _, err := DecodeArtifact([]byte(`{"schema":`)); err == nil {
+		t.Fatal("truncated artifact decoded")
+	}
+	if _, err := DecodeArtifact([]byte(`null`)); err == nil {
+		t.Fatal("null artifact decoded")
+	}
+}
+
+// TestArtifactFileRoundTrip writes and reloads an artifact.
+func TestArtifactFileRoundTrip(t *testing.T) {
+	art := NewArtifact(mkCell(t, "grouplsn", 5, 5, scheduleProfiles[2]), "parallel-divergence", "x")
+	path := filepath.Join(t.TempDir(), "repro.json")
+	if err := art.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadArtifactFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Check != "parallel-divergence" || len(back.Ops) != len(art.Ops) {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+}
+
+// TestGoSourceEmbedsArtifact: the generated standalone repro embeds the
+// JSON and the replay entry points.
+func TestGoSourceEmbedsArtifact(t *testing.T) {
+	art := NewArtifact(mkCell(t, "logical", 3, 2, Schedule{Seed: 9}), "invariant", "d")
+	src, err := art.GoSource()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"package main", "fuzz.DecodeArtifact", "fuzz.Replay", ArtifactSchemaV1, `"method": "logical"`} {
+		if !strings.Contains(string(src), want) {
+			t.Fatalf("generated source missing %q:\n%s", want, src)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"fmt"
 	"math"
 	"math/bits"
 	"sync/atomic"
@@ -104,6 +105,9 @@ func (s *HistSnapshot) Merge(o HistSnapshot) {
 	}
 	if s.Count == 0 {
 		*s = o
+		// Copy the bucket slice: adopting o's backing array would let a
+		// later Merge into s mutate the donor snapshot in place.
+		s.Buckets = append([]int64(nil), o.Buckets...)
 		return
 	}
 	s.Sum += o.Sum
@@ -158,6 +162,39 @@ func (s *HistSnapshot) percentile(p float64) int64 {
 		}
 	}
 	return s.Max
+}
+
+// sanity reports every structural problem with the snapshot — a
+// recorder can only produce sane snapshots, so any finding means the
+// value came from a corrupt or hand-edited report file. Report.Validate
+// runs it over every histogram so cmd/redostats -check fails corrupt
+// inputs with a schema error instead of rendering garbage.
+func (s *HistSnapshot) sanity() []string {
+	var probs []string
+	if s.Count < 0 {
+		probs = append(probs, fmt.Sprintf("negative observation count %d", s.Count))
+	}
+	if len(s.Buckets) > histBuckets {
+		probs = append(probs, fmt.Sprintf("%d buckets, max %d", len(s.Buckets), histBuckets))
+	}
+	var total int64
+	for i, n := range s.Buckets {
+		if n < 0 {
+			probs = append(probs, fmt.Sprintf("bucket %d holds negative count %d", i, n))
+		}
+		total += n
+	}
+	if s.Count > 0 {
+		if len(s.Buckets) == 0 {
+			probs = append(probs, fmt.Sprintf("count %d but no buckets", s.Count))
+		} else if total != s.Count {
+			probs = append(probs, fmt.Sprintf("buckets sum to %d, count says %d", total, s.Count))
+		}
+		if s.Min > s.Max {
+			probs = append(probs, fmt.Sprintf("min %d exceeds max %d", s.Min, s.Max))
+		}
+	}
+	return probs
 }
 
 // Mean returns the histogram's mean (0 when empty).

@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// TestBucketOfBoundaries pins the bucket map at every power-of-two edge:
+// bucket 0 holds values ≤ 0, bucket k (k ≥ 1) covers [2^(k-1), 2^k), and
+// MaxInt64 lands in the last bucket (63) rather than out of range.
+func TestBucketOfBoundaries(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{math.MinInt64, 0},
+		{-1, 0},
+		{0, 0},
+		{1, 1},
+		{2, 2},
+		{3, 2},
+		{4, 3},
+		{7, 3},
+		{8, 4},
+	}
+	for k := 2; k < 63; k++ {
+		edge := int64(1) << k
+		cases = append(cases,
+			struct {
+				v    int64
+				want int
+			}{edge - 1, k},
+			struct {
+				v    int64
+				want int
+			}{edge, k + 1},
+		)
+	}
+	cases = append(cases, struct {
+		v    int64
+		want int
+	}{math.MaxInt64, 63})
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+		if got := bucketOf(c.v); got < 0 || got >= histBuckets {
+			t.Fatalf("bucketOf(%d) = %d, outside [0, %d)", c.v, got, histBuckets)
+		}
+	}
+}
+
+// mkSnap observes the given values into a fresh Hist and snapshots it.
+func mkSnap(values ...int64) HistSnapshot {
+	h := newHist()
+	for _, v := range values {
+		h.Observe(v)
+	}
+	return h.snapshot()
+}
+
+// TestHistSnapshotTrailingTrim pins the snapshot's trailing-trim contract:
+// buckets past the highest occupied index are dropped, occupied indices
+// survive, and the trimmed form still sums to Count.
+func TestHistSnapshotTrailingTrim(t *testing.T) {
+	s := mkSnap(1, 5) // buckets 1 and 3 occupied → trimmed length 4
+	if len(s.Buckets) != 4 {
+		t.Fatalf("buckets = %v, want trailing-trimmed length 4", s.Buckets)
+	}
+	if s.Buckets[1] != 1 || s.Buckets[3] != 1 || s.Buckets[0] != 0 || s.Buckets[2] != 0 {
+		t.Fatalf("buckets = %v, want [0 1 0 1]", s.Buckets)
+	}
+	if probs := s.sanity(); len(probs) != 0 {
+		t.Fatalf("fresh snapshot fails sanity: %v", probs)
+	}
+	if empty := mkSnap(); empty.Buckets != nil {
+		t.Fatalf("empty snapshot carries buckets %v", empty.Buckets)
+	}
+}
+
+// TestMergeDifferentTrimmedLengths round-trips Merge in both directions
+// when the operands were trimmed to different lengths: short-into-long
+// must not lose the long tail, and long-into-short must grow the
+// receiver. Both orders must agree on every aggregate.
+func TestMergeDifferentTrimmedLengths(t *testing.T) {
+	short := mkSnap(1, 1, 2)        // buckets [0 2 1]
+	long := mkSnap(100, 1000, 5000) // trimmed length 13
+
+	a := short
+	a.Buckets = append([]int64(nil), short.Buckets...)
+	a.Merge(long)
+
+	b := long
+	b.Buckets = append([]int64(nil), long.Buckets...)
+	b.Merge(short)
+
+	if a.Count != 6 || b.Count != 6 {
+		t.Fatalf("merged counts = %d, %d, want 6", a.Count, b.Count)
+	}
+	if a.Sum != b.Sum || a.Min != b.Min || a.Max != b.Max || a.P50 != b.P50 || a.P99 != b.P99 {
+		t.Fatalf("merge is order-sensitive:\n short→long: %+v\n long→short: %+v", b, a)
+	}
+	if a.Min != 1 || a.Max != 5000 {
+		t.Fatalf("merged min/max = %d/%d, want 1/5000", a.Min, a.Max)
+	}
+	if len(a.Buckets) != len(b.Buckets) {
+		t.Fatalf("merged bucket lengths differ: %d vs %d", len(a.Buckets), len(b.Buckets))
+	}
+	for i := range a.Buckets {
+		if a.Buckets[i] != b.Buckets[i] {
+			t.Fatalf("merged buckets diverge at %d:\n%v\n%v", i, a.Buckets, b.Buckets)
+		}
+	}
+	if probs := a.sanity(); len(probs) != 0 {
+		t.Fatalf("merged snapshot fails sanity: %v", probs)
+	}
+}
+
+// TestMergeIntoEmptyDoesNotAliasDonor is the regression test for the
+// empty-receiver fast path: adopting the donor's bucket slice by
+// reference let a subsequent merge into the receiver mutate the donor
+// snapshot in place, silently corrupting any report that merged the same
+// snapshot twice (exactly what NewReport does when computing Totals).
+func TestMergeIntoEmptyDoesNotAliasDonor(t *testing.T) {
+	donor := mkSnap(4, 4, 4)
+	want := append([]int64(nil), donor.Buckets...)
+
+	var s HistSnapshot
+	s.Merge(donor)
+	s.Merge(mkSnap(4, 7))
+
+	if s.Count != 5 {
+		t.Fatalf("receiver count = %d, want 5", s.Count)
+	}
+	for i := range want {
+		if donor.Buckets[i] != want[i] {
+			t.Fatalf("merge mutated the donor snapshot: buckets %v, want %v", donor.Buckets, want)
+		}
+	}
+}
+
+// TestMergeEmptyDonorIsNoOp pins the other fast path: merging an empty
+// snapshot changes nothing, including percentiles.
+func TestMergeEmptyDonorIsNoOp(t *testing.T) {
+	s := mkSnap(9, 17)
+	before := s
+	before.Buckets = append([]int64(nil), s.Buckets...)
+	s.Merge(HistSnapshot{})
+	if s.Count != before.Count || s.Sum != before.Sum || s.P50 != before.P50 || s.P99 != before.P99 {
+		t.Fatalf("merging an empty snapshot changed the receiver: %+v vs %+v", s, before)
+	}
+}
+
+// TestHistSanityFindings exercises every structural check the validator
+// relies on to reject corrupt report files.
+func TestHistSanityFindings(t *testing.T) {
+	cases := []struct {
+		name string
+		s    HistSnapshot
+	}{
+		{"negative count", HistSnapshot{Count: -1}},
+		{"too many buckets", HistSnapshot{Count: 1, Min: 1, Max: 1, Buckets: make([]int64, histBuckets+1)}},
+		{"negative bucket", HistSnapshot{Count: 1, Min: 1, Max: 1, Buckets: []int64{0, -1}}},
+		{"count without buckets", HistSnapshot{Count: 3, Min: 1, Max: 2}},
+		{"bucket sum mismatch", HistSnapshot{Count: 3, Min: 1, Max: 2, Buckets: []int64{0, 1}}},
+		{"min above max", HistSnapshot{Count: 1, Min: 9, Max: 2, Buckets: []int64{0, 0, 0, 0, 1}}},
+	}
+	for _, c := range cases {
+		if probs := c.s.sanity(); len(probs) == 0 {
+			t.Errorf("%s: sanity found nothing in %+v", c.name, c.s)
+		}
+	}
+	ok := mkSnap(1, 2, 3)
+	if probs := ok.sanity(); len(probs) != 0 {
+		t.Fatalf("sane snapshot flagged: %v", probs)
+	}
+}

@@ -90,17 +90,53 @@ func (r *Report) Validate() error {
 				probs = append(probs, fmt.Sprintf("method %q: missing phase duration %q", name, k))
 			}
 		}
+		probs = append(probs, snapshotSanity(fmt.Sprintf("method %q", name), s)...)
 	}
 	if r.Totals == nil {
 		probs = append(probs, "missing totals")
-	} else if _, ok := r.Totals.Samples[MPartitionWidth]; !ok {
-		probs = append(probs, fmt.Sprintf("totals: missing sample histogram %q", MPartitionWidth))
+	} else {
+		if _, ok := r.Totals.Samples[MPartitionWidth]; !ok {
+			probs = append(probs, fmt.Sprintf("totals: missing sample histogram %q", MPartitionWidth))
+		}
+		probs = append(probs, snapshotSanity("totals", r.Totals)...)
 	}
 	if len(probs) != 0 {
 		sort.Strings(probs)
 		return fmt.Errorf("obs: invalid metrics report:\n  %s", joinLines(probs))
 	}
 	return nil
+}
+
+// snapshotSanity runs the structural histogram checks over every
+// histogram in the snapshot and flags negative counters: a live Recorder
+// can produce none of these, so each finding identifies a corrupt or
+// hand-edited report rather than a schema-version gap.
+func snapshotSanity(where string, s *Snapshot) []string {
+	var probs []string
+	keys := make([]string, 0, len(s.Counters))
+	for k := range s.Counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if s.Counters[k] < 0 {
+			probs = append(probs, fmt.Sprintf("%s: counter %q is negative (%d)", where, k, s.Counters[k]))
+		}
+	}
+	for label, hists := range map[string]map[string]HistSnapshot{"duration": s.Durations, "sample": s.Samples} {
+		names := make([]string, 0, len(hists))
+		for k := range hists {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		for _, k := range names {
+			h := hists[k]
+			for _, p := range h.sanity() {
+				probs = append(probs, fmt.Sprintf("%s: %s histogram %q: %s", where, label, k, p))
+			}
+		}
+	}
+	return probs
 }
 
 func joinLines(ss []string) string {
@@ -147,6 +183,12 @@ func ReadReportFile(path string) (*Report, error) {
 	var r Report
 	if err := json.Unmarshal(data, &r); err != nil {
 		return nil, fmt.Errorf("obs: decoding metrics report %s: %w", path, err)
+	}
+	// JSON "null" (or an empty object) decodes without error into a zero
+	// report; reject it here so a truncated-then-padded or wrong file
+	// yields a decode error, never a zero-value report that might render.
+	if r.Schema == "" && len(r.Methods) == 0 && r.Totals == nil {
+		return nil, fmt.Errorf("obs: %s is not a %s report (no schema, methods, or totals)", path, SchemaV1)
 	}
 	return &r, nil
 }
@@ -197,8 +239,14 @@ func (r *Report) RenderWidths(out io.Writer) {
 			peak = n
 		}
 	}
+	if peak <= 0 {
+		// Corrupt reports can carry a positive count with empty or
+		// negative buckets; Validate flags them, rendering just declines.
+		fmt.Fprintln(out, "  (histogram buckets are empty or corrupt)")
+		return
+	}
 	for i, n := range wh.Buckets {
-		if n == 0 {
+		if n <= 0 {
 			continue
 		}
 		lo, hi := bucketBounds(i)

@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"encoding/json"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -87,6 +89,95 @@ func TestRenderTableAndWidths(t *testing.T) {
 	(&Report{Totals: &Snapshot{}}).RenderWidths(&none)
 	if !strings.Contains(none.String(), "no components") {
 		t.Fatalf("empty widths rendering: %q", none.String())
+	}
+}
+
+// TestCorruptReportInputs feeds the redostats -check pipeline
+// (ReadReportFile then Validate) every class of malformed input the tool
+// must reject: each case yields a clear error — never a panic and never
+// a zero-value report that would pass validation or render garbage.
+func TestCorruptReportInputs(t *testing.T) {
+	valid := func(mutate func(r *Report)) string {
+		rep := NewReport("test", map[string]Snapshot{"genlsn": fullSnapshot()})
+		mutate(rep)
+		data, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	cases := []struct {
+		name string
+		data string
+		want string // substring of the error
+	}{
+		{"empty file", "", "decoding"},
+		{"truncated json", `{"schema": "redotheory/metrics/v1", "methods": {"genl`, "decoding"},
+		{"json null", "null", "not a"},
+		{"empty object", "{}", "not a"},
+		{"json array", "[]", "decoding"},
+		{"json string", `"hi"`, "decoding"},
+		{"wrong type for methods", `{"schema":"redotheory/metrics/v1","methods":42}`, "decoding"},
+		{"wrong schema", valid(func(r *Report) { r.Schema = "bogus/v9" }), "schema"},
+		{"null method snapshot", valid(func(r *Report) { r.Methods["genlsn"] = nil }), "nil snapshot"},
+		{"missing totals", valid(func(r *Report) { r.Totals = nil }), "missing totals"},
+		{"negative counter", valid(func(r *Report) { r.Totals.Counters[MRedoExamined] = -4 }), "negative"},
+		{"negative bucket", valid(func(r *Report) {
+			h := r.Totals.Samples[MPartitionWidth]
+			h.Buckets[1] = -7
+			r.Totals.Samples[MPartitionWidth] = h
+		}), "negative count"},
+		{"bucket sum mismatch", valid(func(r *Report) {
+			h := r.Totals.Samples[MPartitionWidth]
+			h.Count += 5
+			r.Totals.Samples[MPartitionWidth] = h
+		}), "count says"},
+		{"too many buckets", valid(func(r *Report) {
+			h := r.Totals.Samples[MPartitionWidth]
+			h.Buckets = append(h.Buckets, make([]int64, 70)...)
+			r.Totals.Samples[MPartitionWidth] = h
+		}), "max 64"},
+		{"min above max", valid(func(r *Report) {
+			h := r.Totals.Samples[MPartitionWidth]
+			h.Min, h.Max = 99, 1
+			r.Totals.Samples[MPartitionWidth] = h
+		}), "exceeds max"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "metrics.json")
+			if err := os.WriteFile(path, []byte(c.data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			rep, err := ReadReportFile(path)
+			if err == nil {
+				err = rep.Validate()
+			}
+			if err == nil {
+				t.Fatalf("corrupt input passed the check pipeline: %q", c.data)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error does not mention %q:\n%v", c.want, err)
+			}
+		})
+	}
+}
+
+// TestRenderCorruptWidthsDoesNotPanic feeds RenderWidths histograms that
+// fail validation — rendering must decline gracefully, never slice-panic
+// on negative bar widths.
+func TestRenderCorruptWidthsDoesNotPanic(t *testing.T) {
+	for _, h := range []HistSnapshot{
+		{Count: 5},                                          // count, no buckets
+		{Count: 5, Buckets: []int64{-3, -2}},                // all-negative buckets
+		{Count: 5, Min: 1, Max: 9, Buckets: []int64{0, -1, 6}}, // mixed sign
+	} {
+		rep := &Report{Totals: &Snapshot{Samples: map[string]HistSnapshot{MPartitionWidth: h}}}
+		var sb strings.Builder
+		rep.RenderWidths(&sb) // must not panic
+		if sb.Len() == 0 {
+			t.Fatalf("rendering %+v produced no output", h)
+		}
 	}
 }
 

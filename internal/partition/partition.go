@@ -50,6 +50,7 @@
 package partition
 
 import (
+	"fmt"
 	"sort"
 
 	"redotheory/internal/conflict"
@@ -191,6 +192,14 @@ type Stats struct {
 // Stats returns the plan's summary numbers.
 func (p *Plan) Stats() Stats {
 	return Stats{Ops: p.Ops, Components: len(p.Components), Largest: p.MaxComponentLen()}
+}
+
+// Signature renders the stats as a compact "ops/components/largest"
+// key. The fuzzer counts distinct signatures as its partition-shape
+// coverage metric: two cells with the same signature exercised the same
+// parallelism structure.
+func (s Stats) Signature() string {
+	return fmt.Sprintf("%d/%d/%d", s.Ops, s.Components, s.Largest)
 }
 
 // unionFind is a standard disjoint-set forest over record indexes with

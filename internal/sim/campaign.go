@@ -288,17 +288,21 @@ type campaignCell struct {
 }
 
 func (c campaignCell) run(initial *model.State, truncateProb float64, metrics *CampaignMetrics) (*FaultResult, error) {
+	runSeed, planSeed := cellSeeds(c.seed, c.method.Name, c.kind, c.crash)
 	r, err := RunFaulted(c.method.New, Config{
 		Ops:          c.ops,
 		Initial:      initial,
 		CrashAfter:   c.crash,
-		Seed:         c.seed*1000 + int64(c.crash),
+		Seed:         runSeed,
 		TruncateProb: truncateProb,
 		Recorder:     metrics.Recorder(c.method.Name),
-	}, fault.Plan{Seed: c.seed*7919 + int64(c.crash), Kind: c.kind})
+	}, fault.Plan{Seed: planSeed, Kind: c.kind})
 	if err != nil {
 		return nil, fmt.Errorf("sim: campaign %s/%s/crash=%d/seed=%d: %w", c.method.Name, c.kind, c.crash, c.seed, err)
 	}
+	// Report the cell's grid seed, not the derived stream seed: canonical
+	// ordering (SortResults) and human diffing key on the campaign grid.
+	r.Seed = c.seed
 	return r, nil
 }
 
@@ -408,6 +412,14 @@ func Campaign(cfg CampaignConfig) ([]*FaultResult, error) {
 // kind, crash point, seed. Campaign output is already sorted; the
 // function is exported so any aggregator can normalize results produced
 // in completion order.
+//
+// The ordering is a documented invariant: the sort key (Method, Kind,
+// CrashAfter, Seed) is exactly the campaign grid coordinate, so it is a
+// *total* order over any one campaign's results — no two cells compare
+// equal — and sorting is therefore a canonical form independent of
+// completion order. The differential fuzzer (internal/fuzz) and any
+// cross-run diffing rely on this: two result sets from the same grid can
+// be compared element-wise after SortResults.
 func SortResults(rs []*FaultResult) {
 	sort.SliceStable(rs, func(i, j int) bool {
 		a, b := rs[i], rs[j]

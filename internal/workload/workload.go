@@ -169,6 +169,46 @@ func BankTransfers(n int, pages []model.Var, seed int64) []*model.Op {
 	return ops
 }
 
+// Shape is a named workload generator. Every shape returned by
+// ShapesFor builds its operations exclusively with model.ReadWrite, so
+// an operation is fully reconstructible from its (ID, Name, Reads,
+// Writes) tuple — the property the fuzzer's repro artifacts rely on.
+type Shape struct {
+	Name string
+	Gen  func(n int, pages []model.Var, seed int64) []*model.Op
+}
+
+// ShapesFor returns every workload shape that is legal for the named
+// method, each a distinct distribution over the method's legal operation
+// space. The fuzzer iterates these per method; ForMethod stays the
+// single-shape default used by the simulator.
+func ShapesFor(name string) ([]Shape, error) {
+	singleUniform := Shape{"single-page/uniform", func(n int, pages []model.Var, seed int64) []*model.Op {
+		return SinglePage(n, pages, seed, false)
+	}}
+	singleSkew := Shape{"single-page/skew", func(n int, pages []model.Var, seed int64) []*model.Op {
+		return SinglePage(n, pages, seed, true)
+	}}
+	rmwNarrow := Shape{"rmw/narrow", func(n int, pages []model.Var, seed int64) []*model.Op {
+		return ReadManyWriteOne(n, pages, 2, seed)
+	}}
+	rmwWide := Shape{"rmw/wide", func(n int, pages []model.Var, seed int64) []*model.Op {
+		return ReadManyWriteOne(n, pages, 5, seed)
+	}}
+	anyShape := Shape{"any", AnyShape}
+	blind := Shape{"blind", BlindWrites}
+	switch name {
+	case "physiological", "physiological+dpt":
+		return []Shape{singleUniform, singleSkew}, nil
+	case "genlsn", "genlsn+mv":
+		return []Shape{rmwNarrow, rmwWide, singleUniform}, nil
+	case "physical", "grouplsn", "logical":
+		return []Shape{anyShape, blind, singleUniform}, nil
+	default:
+		return nil, fmt.Errorf("workload: unknown method %q", name)
+	}
+}
+
 // ForMethod returns a workload legal for the named method.
 func ForMethod(name string, n int, pages []model.Var, seed int64) ([]*model.Op, error) {
 	switch name {

@@ -24,7 +24,7 @@ func builtTool(t *testing.T, name string) string {
 		if buildErr != nil {
 			return
 		}
-		for _, tool := range []string{"redograph", "redosim", "redocheck"} {
+		for _, tool := range []string{"redograph", "redosim", "redocheck", "redofuzz"} {
 			cmd := exec.Command("go", "build", "-o", filepath.Join(binDir, tool), "./cmd/"+tool)
 			out, err := cmd.CombinedOutput()
 			if err != nil {
@@ -190,6 +190,45 @@ func TestRedosimEmitTracePipesIntoRedocheck(t *testing.T) {
 	}
 	if _, code := runTool(t, "redosim", "", "-emit-trace"); code == 0 {
 		t.Error("emit-trace without -method/-crash accepted")
+	}
+}
+
+func TestRedofuzzSmokeGrid(t *testing.T) {
+	out, code := runTool(t, "redofuzz", "", "-seeds", "1", "-histories", "1", "-ops", "8")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	for _, want := range []string{"all cells agree", "partition shapes", "redo-set sizes"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fuzz output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRedofuzzReproReplay(t *testing.T) {
+	// The checked-in walkthrough artifact replays deterministically: the
+	// recorded disagreement came from a test-only planted bug, so the
+	// real oracle passes the cell — twice, with identical output.
+	path := filepath.Join("examples", "fuzzrepro", "repro.json")
+	first, code := runTool(t, "redofuzz", "", "-repro", path)
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, first)
+	}
+	if !strings.Contains(first, "cell passes") {
+		t.Errorf("replay output unexpected:\n%s", first)
+	}
+	second, code := runTool(t, "redofuzz", "", "-repro", path)
+	if code != 0 || first != second {
+		t.Errorf("replay is not deterministic:\n%s\nvs\n%s", first, second)
+	}
+
+	// A malformed artifact is a usage error, not a pass.
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":"bogus"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out, code := runTool(t, "redofuzz", "", "-repro", bad); code == 0 {
+		t.Errorf("malformed artifact accepted:\n%s", out)
 	}
 }
 
