@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race soak fuzz fuzz-smoke bench bench-full experiments examples tools campaign metrics cover clean
+.PHONY: all build vet test test-short race soak fuzz fuzz-smoke nestedcrash-smoke bench bench-full experiments examples tools campaign metrics cover clean
 
 all: build vet test
 
@@ -35,6 +35,16 @@ fuzz:
 # any oracle disagreement; repro artifacts land in fuzzout/.
 fuzz-smoke:
 	$(GO) run -race ./cmd/redofuzz -seeds 2 -histories 3 -faults -shrink -budget 30s -out fuzzout
+
+# nestedcrash-smoke crashes recovery itself: a fixed-seed grid of
+# methods × crash points × nested-crash schedules run under the race
+# detector, where the supervisor must drive every cell's restart loop to
+# the determined state with monotone install progress. Exits 1 on
+# non-convergence or oracle disagreement; repro artifacts land in
+# nestedcrashout/.
+nestedcrash-smoke:
+	$(GO) run -race ./cmd/redosim -nested-crash -ops 12 -pages 4 -seeds 3 -workers 4 -out nestedcrashout -metrics nestedcrash-metrics.json
+	$(GO) run ./cmd/redostats -check nestedcrash-metrics.json
 
 # bench runs the recovery benchmarks and the sequential-vs-parallel
 # comparison; redobench writes BENCH_parallel.json and fails when the

@@ -196,6 +196,7 @@ func main() {
 		fatal(err)
 	}
 
+	fmt.Printf("cpus: %d (GOMAXPROCS %d)\n", rep.NumCPU, rep.GoMaxProcs)
 	fmt.Printf("fixture: %d ops over %d pages → %d components (largest %d)\n",
 		*nOps, *nPages, rep.Fixture.Components, rep.Fixture.Largest)
 	fmt.Printf("sequential: %s\n", fmtNs(rep.Sequential.NsPerOp))

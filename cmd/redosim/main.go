@@ -4,6 +4,7 @@
 //	redosim -experiment splitlog # E10: B-tree split log volume, physiological vs generalized
 //	redosim -walfault            # WAL fault injection: violations must be detected
 //	redosim -campaign            # E18: media faults × methods, zero silent corruption
+//	redosim -nested-crash        # E-series: crash recovery itself, supervised restart must converge
 //	redosim -method genlsn -ops 50 -crash 30   # one run, verbose
 package main
 
@@ -12,17 +13,20 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"time"
 	"text/tabwriter"
 
 	"redotheory/internal/btree"
 	"redotheory/internal/core"
 	"redotheory/internal/fault"
+	"redotheory/internal/fuzz"
 	"redotheory/internal/graph"
 	"redotheory/internal/method"
 	"redotheory/internal/model"
 	"redotheory/internal/obs"
 	"redotheory/internal/sim"
+	"redotheory/internal/supervise"
 	"redotheory/internal/trace"
 	"redotheory/internal/workload"
 )
@@ -54,7 +58,11 @@ func main() {
 	experiment := flag.String("experiment", "", "named experiment: splitlog")
 	walfault := flag.Bool("walfault", false, "run WAL fault injection")
 	campaign := flag.Bool("campaign", false, "run the E18 media-fault campaign over all methods and fault kinds")
-	seeds := flag.Int("seeds", 3, "with -campaign: number of seeds per cell")
+	nestedCrash := flag.Bool("nested-crash", false, "run the nested-crash campaign: crash recovery itself on every schedule and assert the supervised restart loop converges")
+	maxAttempts := flag.Int("max-attempts", 0, "with -nested-crash: supervised attempt budget per cell (0 = schedule length + 8)")
+	progressCkpt := flag.Int("progress-ckpt", 0, "with -nested-crash: progress-checkpoint period K in installed ops (0 = after every install)")
+	artifactDir := flag.String("out", "", "with -nested-crash: directory for fuzz repro artifacts of failing cells")
+	seeds := flag.Int("seeds", 3, "with -campaign or -nested-crash: number of seeds per cell")
 	workers := flag.Int("workers", 1, "worker pool size: -campaign runs cells concurrently; -matrix and -method also cross-check parallel partitioned recovery")
 	methodName := flag.String("method", "", "single method to run")
 	nOps := flag.Int("ops", 40, "operations in the workload")
@@ -94,6 +102,8 @@ func main() {
 		runWALFault(*nOps, *nPages, *seed)
 	case *campaign:
 		runCampaign(*nOps, *nPages, *seeds, *workers, metrics)
+	case *nestedCrash:
+		runNestedCrash(*nOps, *nPages, *seeds, *workers, *maxAttempts, *progressCkpt, *artifactDir, metrics)
 	case *emitTrace:
 		if *methodName == "" || *crash < 0 {
 			fmt.Fprintln(os.Stderr, "redosim: -emit-trace requires -method and -crash")
@@ -108,17 +118,19 @@ func main() {
 	}
 
 	if *metricsOut != "" {
-		writeMetrics(metrics, *metricsOut, sourceLabel(*matrix, *campaign, *methodName))
+		writeMetrics(metrics, *metricsOut, sourceLabel(*matrix, *campaign, *nestedCrash, *methodName))
 	}
 }
 
 // sourceLabel names the producing mode for the report's source field.
-func sourceLabel(matrix, campaign bool, methodName string) string {
+func sourceLabel(matrix, campaign, nestedCrash bool, methodName string) string {
 	switch {
 	case matrix:
 		return "redosim -matrix"
 	case campaign:
 		return "redosim -campaign"
+	case nestedCrash:
+		return "redosim -nested-crash"
 	case methodName != "":
 		return "redosim -method " + methodName
 	default:
@@ -324,6 +336,130 @@ func runCampaign(nOps, nPages, nSeeds, workers int, metrics *sim.CampaignMetrics
 		os.Exit(1)
 	}
 	fmt.Println("RESULT: zero silent corruption — every media fault was repaired, degraded, or detected")
+}
+
+// runNestedCrash sweeps methods × seeds × crash points × nested-crash
+// schedules, crashing *recovery itself* per schedule and supervising the
+// restart loop; the headline assertion is that every cell converges to
+// the determined state with strictly monotone install progress.
+func runNestedCrash(nOps, nPages, nSeeds, workers, maxAttempts, progressEvery int, outDir string, metrics *sim.CampaignMetrics) {
+	methods := make([]sim.NamedFactory, len(factories))
+	for i, f := range factories {
+		methods[i] = sim.NamedFactory{Name: f.name, New: f.mk}
+	}
+	seeds := make([]int64, 0, max(nSeeds, 0))
+	for i := 0; i < nSeeds; i++ {
+		seeds = append(seeds, int64(i+1))
+	}
+	results, err := sim.NestedCrashCampaign(sim.NestedCrashConfig{
+		Methods:       methods,
+		NumOps:        nOps,
+		NumPages:      nPages,
+		Seeds:         seeds,
+		MaxAttempts:   maxAttempts,
+		ProgressEvery: progressEvery,
+		Workers:       workers,
+		Metrics:       metrics,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	sum := sim.SummarizeNestedCrash(results)
+
+	type agg struct{ ok, cells, crashes, attempts, installs, ckpts, escalations int }
+	byMethod := make(map[string]*agg)
+	for _, r := range results {
+		a := byMethod[r.Method]
+		if a == nil {
+			a = &agg{}
+			byMethod[r.Method] = a
+		}
+		a.cells++
+		if r.OK() {
+			a.ok++
+		}
+		a.crashes += r.CrashesInjected
+		a.attempts += r.Attempts
+		a.installs += r.TotalInstalls
+		a.ckpts += r.ProgressCheckpoints
+		a.escalations += r.Escalations
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "method\tcells\tok\tnested crashes\tattempts\tinstalls\tprogress ckpts\tescalations")
+	for _, m := range sum.Methods() {
+		a := byMethod[m]
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			m, a.cells, a.ok, a.crashes, a.attempts, a.installs, a.ckpts, a.escalations)
+	}
+	w.Flush()
+
+	fmt.Printf("\n%d cells: %d converged (%d parallel / %d sequential / %d degraded), %d nested crashes injected, %d attempts total\n",
+		sum.Runs, sum.Converged,
+		sum.ByRung[supervise.RungParallel], sum.ByRung[supervise.RungSequential], sum.ByRung[supervise.RungDegraded],
+		sum.TotalCrashes, sum.TotalAttempts)
+
+	if sum.NonConverged+sum.OracleMismatches+sum.MonotoneViolations+sum.Errors == 0 {
+		fmt.Println("RESULT: every crashed recovery converged to the determined state with monotone install progress")
+		return
+	}
+	n := 0
+	for _, r := range results {
+		if r.OK() {
+			continue
+		}
+		check, detail := nestedFailure(r)
+		fmt.Printf("  FAIL: %s crash=%d seed=%d schedule=%v: %s (%s)\n",
+			r.Method, r.CrashAfter, r.Seed, r.Schedule, check, detail)
+		if outDir != "" {
+			writeNestedArtifact(outDir, n, r, nPages, check, detail)
+		}
+		n++
+	}
+	fmt.Printf("RESULT: FAIL — %d non-converged, %d oracle mismatches, %d monotonicity violations, %d errors\n",
+		sum.NonConverged, sum.OracleMismatches, sum.MonotoneViolations, sum.Errors)
+	os.Exit(1)
+}
+
+// nestedFailure classifies a failing cell with the supervised oracle
+// leg's check names, so the repro artifact replays under the same label.
+func nestedFailure(r *sim.NestedCrashResult) (check, detail string) {
+	switch {
+	case r.Err != "":
+		return "supervised-error", r.Err
+	case !r.Converged:
+		return "supervised-nonconvergence", fmt.Sprintf("exhausted %d attempts (rung %s)", r.Attempts, r.Rung)
+	case !r.OracleMatch:
+		return "supervised-oracle", fmt.Sprintf("converged state diverges from the determined state (rung %s)", r.Rung)
+	default:
+		return "supervised-monotonicity", "an attempt installed work without advancing the install measure"
+	}
+}
+
+// writeNestedArtifact exports a failing cell as a fuzz v2 repro. The
+// campaign's execution loop draws background activity in the same order
+// and with the same probabilities as the fuzzer's executor, so the
+// schedule below re-creates the identical crash state and the artifact's
+// nested_crash field drives the supervised leg through the same restart
+// storm.
+func writeNestedArtifact(dir string, i int, r *sim.NestedCrashResult, nPages int, check, detail string) {
+	cell := fuzz.Cell{
+		History: fuzz.History{Method: r.Method, Shape: "nested-crash-campaign", Pages: nPages, Ops: r.Ops},
+		Crash:   r.CrashAfter,
+		Schedule: fuzz.Schedule{
+			Seed:      sim.MixSeed(r.Seed, int64(fault.Sum(r.Method)), int64(r.CrashAfter), 5),
+			FlushProb: 0.3, ForceProb: 0.2, CheckpointProb: 0.1,
+		},
+		NestedCrash: r.Schedule,
+	}
+	art := fuzz.NewArtifact(cell, check, detail)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fatal(err)
+	}
+	path := filepath.Join(dir, fmt.Sprintf("nestedcrash-%03d.json", i))
+	if err := art.WriteFile(path); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("  artifact: %s (replay with: redofuzz -repro %s)\n", path, path)
 }
 
 func runOne(name string, nOps, nPages, crash int, seed int64, online bool, workers int, metrics *sim.CampaignMetrics) {

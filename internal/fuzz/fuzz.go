@@ -78,12 +78,16 @@ type Cell struct {
 	Schedule Schedule
 	// Workers is the parallel-recovery pool size.
 	Workers int
+	// NestedCrash is the supervised-recovery leg's crash schedule: entry
+	// k is how many operations recovery attempt k installs before it is
+	// crashed again (nil/empty: recovery runs unmolested).
+	NestedCrash []int
 }
 
 // String renders the cell coordinate for reports.
 func (c *Cell) String() string {
-	return fmt.Sprintf("%s/%s seed=%d ops=%d crash=%d sched=%d",
-		c.History.Method, c.History.Shape, c.History.Seed, len(c.History.Ops), c.Crash, c.Schedule.Seed)
+	return fmt.Sprintf("%s/%s seed=%d ops=%d crash=%d sched=%d nested=%v",
+		c.History.Method, c.History.Shape, c.History.Seed, len(c.History.Ops), c.Crash, c.Schedule.Seed, c.NestedCrash)
 }
 
 // Failure is one oracle disagreement.
@@ -200,6 +204,17 @@ var scheduleProfiles = []Schedule{
 	{FlushProb: 0.9, ForceProb: 0.05, CheckpointProb: 0.25, TruncateProb: 1},
 }
 
+// nestedProfiles are the crash-during-recovery schedules cycled across
+// cells for the supervised-recovery oracle leg: no nested crash, a crash
+// before the first install, one after a single install, and a descending
+// two-crash storm.
+var nestedProfiles = [][]int{
+	nil,
+	{0},
+	{1},
+	{2, 0},
+}
+
 // Run executes the fuzzing grid: methods × shapes × seeds × histories ×
 // crash points, plus (in Faults mode) one faulted cell per history and
 // fault kind. It returns a report; oracle disagreements are collected,
@@ -249,7 +264,8 @@ grid:
 						}
 						sched := profile
 						sched.Seed = sim.MixSeed(histSeed, int64(crash), 4)
-						cell := Cell{History: hist, Crash: crash, Schedule: sched, Workers: c.Workers}
+						cell := Cell{History: hist, Crash: crash, Schedule: sched, Workers: c.Workers,
+							NestedCrash: nestedProfiles[(int(seed)+h+crash)%len(nestedProfiles)]}
 						dis, cov, err := checkCell(m, cell, rec, c.failCheck)
 						if err != nil {
 							return nil, err

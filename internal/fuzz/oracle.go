@@ -2,12 +2,14 @@ package fuzz
 
 import (
 	"fmt"
+	"time"
 
 	"redotheory/internal/core"
 	"redotheory/internal/method"
 	"redotheory/internal/model"
 	"redotheory/internal/obs"
 	"redotheory/internal/sim"
+	"redotheory/internal/supervise"
 )
 
 // disagreement is one oracle leg's dissent.
@@ -39,9 +41,14 @@ type coverage struct {
 //     outcome bit for bit (SameOutcome).
 //  6. degraded — method.RecoverDegraded on these undamaged substrates
 //     must take its fast path (no detections, not degraded), reach the
-//     oracle state, and pass its own audit. It runs last because its
-//     conservative path would mutate the store in place; on a clean
-//     cell the fast path leaves the survivors untouched.
+//     oracle state, and pass its own audit. Its conservative path would
+//     mutate the store in place; on a clean cell the fast path leaves
+//     the survivors untouched.
+//  7. supervised — supervise.Supervise under the cell's nested-crash
+//     schedule must converge to the oracle state (Corollary 4: recovery
+//     crashed at any point simply restarts and finishes). It runs last
+//     of all because its installing attempts persist redone work into
+//     the stable state.
 //
 // A non-nil disagreement identifies the first leg that dissented. The
 // error return is reserved for harness breakage.
@@ -130,6 +137,28 @@ func checkCell(m sim.NamedFactory, cell Cell, rec *obs.Recorder, failCheck func(
 	case deg.Audit == nil || !deg.Audit.OK:
 		return &disagreement{check: "degraded-audit",
 			detail: fmt.Sprintf("degraded audit failed: %v", auditViolations(deg))}, cov, nil
+	}
+
+	// Leg 7: supervised recovery under the cell's nested-crash schedule.
+	sup, err := supervise.Supervise(db, supervise.Options{
+		MaxAttempts:   len(cell.NestedCrash) + 8,
+		ProgressEvery: 2,
+		Seed:          cell.Schedule.Seed,
+		Crashes:       supervise.CrashPlan{Points: cell.NestedCrash},
+		Recorder:      rec,
+		Sleep:         func(time.Duration) {},
+	})
+	switch {
+	case err != nil:
+		return &disagreement{check: "supervised-error", detail: err.Error()}, cov, nil
+	case !sup.Converged:
+		return &disagreement{check: "supervised-nonconvergence",
+			detail: fmt.Sprintf("supervised recovery exhausted %d attempts under schedule %v (rung %s)",
+				len(sup.Attempts), cell.NestedCrash, sup.Rung)}, cov, nil
+	case sup.State == nil || !sup.State.Equal(oracle):
+		return &disagreement{check: "supervised-oracle",
+			detail: fmt.Sprintf("supervised recovery diverges from oracle under schedule %v (rung %s)",
+				cell.NestedCrash, sup.Rung)}, cov, nil
 	}
 
 	return nil, cov, nil

@@ -9,8 +9,13 @@ import (
 	"redotheory/internal/sim"
 )
 
-// ArtifactSchemaV1 identifies the repro artifact format.
+// ArtifactSchemaV1 is the original repro artifact format.
 const ArtifactSchemaV1 = "redotheory/fuzzrepro/v1"
+
+// ArtifactSchemaV2 extends v1 with the supervised-recovery nested-crash
+// schedule. New artifacts are written as v2; v1 artifacts still decode,
+// validate, and replay (their nested schedule is simply empty).
+const ArtifactSchemaV2 = "redotheory/fuzzrepro/v2"
 
 // OpSpec is the serializable form of one history operation. Every fuzz
 // history is built from model.ReadWrite operations, whose behavior (the
@@ -43,6 +48,9 @@ type Artifact struct {
 	Schedule Schedule `json:"schedule"`
 	// Workers is the parallel-recovery pool size (0 means the default).
 	Workers int `json:"workers,omitempty"`
+	// NestedCrash is the supervised-recovery leg's crash-during-recovery
+	// schedule (v2; absent in v1 artifacts).
+	NestedCrash []int `json:"nested_crash,omitempty"`
 	// Check and Detail record the disagreement the artifact reproduces.
 	Check  string `json:"check,omitempty"`
 	Detail string `json:"detail,omitempty"`
@@ -51,15 +59,16 @@ type Artifact struct {
 // NewArtifact serializes a cell into an artifact.
 func NewArtifact(cell Cell, check, detail string) *Artifact {
 	a := &Artifact{
-		Schema:   ArtifactSchemaV1,
-		Method:   cell.History.Method,
-		Shape:    cell.History.Shape,
-		Pages:    cell.History.Pages,
-		Crash:    cell.Crash,
-		Schedule: cell.Schedule,
-		Workers:  cell.Workers,
-		Check:    check,
-		Detail:   detail,
+		Schema:      ArtifactSchemaV2,
+		Method:      cell.History.Method,
+		Shape:       cell.History.Shape,
+		Pages:       cell.History.Pages,
+		Crash:       cell.Crash,
+		Schedule:    cell.Schedule,
+		Workers:     cell.Workers,
+		NestedCrash: cell.NestedCrash,
+		Check:       check,
+		Detail:      detail,
 	}
 	for _, op := range cell.History.Ops {
 		a.Ops = append(a.Ops, OpSpec{
@@ -72,10 +81,18 @@ func NewArtifact(cell Cell, check, detail string) *Artifact {
 	return a
 }
 
-// Validate checks the artifact's structural contract.
+// Validate checks the artifact's structural contract. Both schema
+// versions are accepted; the nested-crash schedule is a v2 field, so a
+// v1 artifact carrying one is malformed.
 func (a *Artifact) Validate() error {
-	if a.Schema != ArtifactSchemaV1 {
-		return fmt.Errorf("fuzz: artifact schema is %q, want %q", a.Schema, ArtifactSchemaV1)
+	switch a.Schema {
+	case ArtifactSchemaV2:
+	case ArtifactSchemaV1:
+		if len(a.NestedCrash) > 0 {
+			return fmt.Errorf("fuzz: v1 artifact carries a nested-crash schedule (a %s field)", ArtifactSchemaV2)
+		}
+	default:
+		return fmt.Errorf("fuzz: artifact schema is %q, want %q or %q", a.Schema, ArtifactSchemaV1, ArtifactSchemaV2)
 	}
 	if a.Method == "" {
 		return fmt.Errorf("fuzz: artifact names no method")
@@ -107,7 +124,7 @@ func (a *Artifact) Cell() (Cell, error) {
 		hist.Ops = append(hist.Ops, model.ReadWrite(model.OpID(spec.ID), spec.Name,
 			stringsToVars(spec.Reads), stringsToVars(spec.Writes)))
 	}
-	return Cell{History: hist, Crash: a.Crash, Schedule: a.Schedule, Workers: a.Workers}, nil
+	return Cell{History: hist, Crash: a.Crash, Schedule: a.Schedule, Workers: a.Workers, NestedCrash: a.NestedCrash}, nil
 }
 
 // Encode renders the artifact as indented JSON.

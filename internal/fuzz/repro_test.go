@@ -134,6 +134,74 @@ func TestArtifactFileRoundTrip(t *testing.T) {
 	}
 }
 
+// TestArtifactV1BackwardCompat: v1 artifacts written before the
+// nested-crash field existed still decode, validate, and replay — the
+// shipped example artifact is the fixture. Its recorded disagreement was
+// a synthetic walkthrough bug, so the replay must come back clean (the
+// supervised leg runs with an empty nested schedule).
+func TestArtifactV1BackwardCompat(t *testing.T) {
+	art, err := ReadArtifactFile(filepath.Join("..", "..", "examples", "fuzzrepro", "repro.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Schema != ArtifactSchemaV1 {
+		t.Fatalf("example artifact schema %q; the fixture must stay v1", art.Schema)
+	}
+	if len(art.NestedCrash) != 0 {
+		t.Fatalf("v1 artifact decoded with a nested schedule: %v", art.NestedCrash)
+	}
+	cell, err := art.Cell()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell.NestedCrash != nil {
+		t.Fatalf("v1 cell carries a nested schedule: %v", cell.NestedCrash)
+	}
+	fail, err := Replay(sim.DefaultMethods(), art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fail != nil {
+		t.Fatalf("v1 artifact replay reports %s: %s", fail.Check, fail.Detail)
+	}
+	// A v1 artifact smuggling the v2 field is malformed.
+	bad := *art
+	bad.NestedCrash = []int{1}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("v1 artifact with nested_crash validated")
+	}
+}
+
+// TestArtifactV2RoundTripNestedCrash: the nested-crash schedule survives
+// the encode/decode/Cell round trip.
+func TestArtifactV2RoundTrip(t *testing.T) {
+	cell := mkCell(t, "physiological", 6, 4, scheduleProfiles[0])
+	cell.Schedule.Seed = 13
+	cell.NestedCrash = []int{2, 0}
+	art := NewArtifact(cell, "", "")
+	if art.Schema != ArtifactSchemaV2 {
+		t.Fatalf("new artifact schema = %q", art.Schema)
+	}
+	data, err := art.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeArtifact(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := back.Cell()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rebuilt.NestedCrash) != 2 || rebuilt.NestedCrash[0] != 2 || rebuilt.NestedCrash[1] != 0 {
+		t.Fatalf("nested schedule lost in round trip: %v", rebuilt.NestedCrash)
+	}
+	if fail, err := Replay(sim.DefaultMethods(), back); err != nil || fail != nil {
+		t.Fatalf("v2 replay: fail=%v err=%v", fail, err)
+	}
+}
+
 // TestGoSourceEmbedsArtifact: the generated standalone repro embeds the
 // JSON and the replay entry points.
 func TestGoSourceEmbedsArtifact(t *testing.T) {
@@ -142,7 +210,7 @@ func TestGoSourceEmbedsArtifact(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"package main", "fuzz.DecodeArtifact", "fuzz.Replay", ArtifactSchemaV1, `"method": "logical"`} {
+	for _, want := range []string{"package main", "fuzz.DecodeArtifact", "fuzz.Replay", ArtifactSchemaV2, `"method": "logical"`} {
 		if !strings.Contains(string(src), want) {
 			t.Fatalf("generated source missing %q:\n%s", want, src)
 		}

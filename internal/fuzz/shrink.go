@@ -20,6 +20,8 @@ const maxShrinkRuns = 600
 //     are tried in order and the smallest failing prefix wins.
 //  4. Schedule simplification: all background probabilities zeroed,
 //     then each zeroed individually, then the schedule seed forced to 1.
+//  5. Nested-crash simplification: the supervised leg's crash schedule
+//     dropped entirely, then shortened one crash at a time from the end.
 //
 // Every candidate is re-executed from scratch, so the result is exactly
 // reproducible. Shrink returns nil when the original cell does not fail
@@ -99,6 +101,22 @@ func Shrink(m sim.NamedFactory, cell Cell, failCheck func(ops []*model.Op, crash
 		cand := cur
 		cand.Schedule.Seed = 1
 		try(cand)
+	}
+
+	// Phase 5: nested-crash simplification — a failure that survives with
+	// no crash-during-recovery schedule is not about supervision at all.
+	if len(cur.NestedCrash) > 0 {
+		cand := cur
+		cand.NestedCrash = nil
+		if !try(cand) {
+			for len(cur.NestedCrash) > 1 {
+				cand := cur
+				cand.NestedCrash = cur.NestedCrash[:len(cur.NestedCrash)-1]
+				if !try(cand) {
+					break
+				}
+			}
+		}
 	}
 
 	return &cur

@@ -159,6 +159,172 @@ func TestLogicalRecoveryIsRepeatable(t *testing.T) {
 	}
 }
 
+// TestRecoverInstallingStopAfterZero: stopAfter=0 is the degenerate
+// crash — recovery dies before its first install. Nothing changes, and
+// the untouched crash state still satisfies the Recovery Invariant.
+func TestRecoverInstallingStopAfterZero(t *testing.T) {
+	ps := pages(3)
+	s0 := initialState(ps)
+	db := NewPhysiological(s0)
+	for i := 1; i <= 5; i++ {
+		if err := db.Exec(singlePageOp(model.OpID(i), ps[(i-1)%3])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.FlushLog()
+	db.Crash()
+	before := db.StableState()
+	n, done, err := RecoverInstalling(db, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 || done {
+		t.Fatalf("redone=%d done=%v, want 0,false", n, done)
+	}
+	if !db.StableState().Equal(before) {
+		t.Error("stopAfter=0 recovery mutated the stable state")
+	}
+	checker, err := core.NewChecker(db.StableLog(), s0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := checker.Check(db.StableState(), db.StableLog(), db.Checkpointed(), db.RedoTest(), db.Analyze(), false)
+	if !rep.OK {
+		t.Fatalf("invariant violated at the zero-install crash: %s", rep.Summary())
+	}
+	// And an empty log's recovery is already done at stopAfter=0.
+	empty := NewPhysiological(s0)
+	empty.Crash()
+	if n, done, err := RecoverInstalling(empty, 0); err != nil || n != 0 || !done {
+		t.Errorf("empty log: redone=%d done=%v err=%v", n, done, err)
+	}
+}
+
+// TestRecoverInstallingEveryIndex crashes restart recovery at *every*
+// redo index — each attempt installs exactly one operation and dies —
+// and audits the Corollary-4 invariant at each intermediate state. The
+// LSN-family methods must make one install of progress per attempt, so
+// the fixed point arrives in exactly as many attempts as there are
+// records to redo. (Physical recovery is excluded: its always-true redo
+// test restarts replay from the top, so a one-install allowance never
+// advances; the growing-allowance property test above covers it.)
+func TestRecoverInstallingEveryIndex(t *testing.T) {
+	mks := map[string]struct {
+		mk    func(*model.State) Installer
+		shape func(model.OpID, *rand.Rand, []model.Var) *model.Op
+	}{
+		"physiological":     {func(s *model.State) Installer { return NewPhysiological(s) }, singlePageMk},
+		"physiological+dpt": {func(s *model.State) Installer { return NewPhysiologicalDPT(s) }, singlePageMk},
+		"genlsn":            {func(s *model.State) Installer { return NewGenLSN(s) }, readManyWriteOneMk},
+		"genlsn+mv":         {func(s *model.State) Installer { return NewGenLSNMV(s) }, readManyWriteOneMk},
+	}
+	for name, mc := range mks {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(77))
+			ps := pages(4)
+			s0 := initialState(ps)
+			db := mc.mk(s0)
+			n := 12
+			for i := 1; i <= n; i++ {
+				if err := db.Exec(mc.shape(model.OpID(i*10), rng, ps)); err != nil {
+					t.Fatal(err)
+				}
+				if rng.Intn(4) == 0 {
+					db.FlushOne()
+				}
+			}
+			db.FlushLog()
+			db.Crash()
+			attempts := 0
+			for ; attempts <= n+1; attempts++ {
+				redone, done, err := RecoverInstalling(db, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				checker, err := core.NewChecker(db.StableLog(), s0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rep := checker.Check(db.StableState(), db.StableLog(), db.Checkpointed(), db.RedoTest(), db.Analyze(), false)
+				if !rep.OK {
+					t.Fatalf("invariant violated after crash at index %d: %s", attempts, rep.Summary())
+				}
+				if done {
+					break
+				}
+				if redone != 1 {
+					t.Fatalf("attempt %d redid %d ops before its crash, want exactly 1", attempts, redone)
+				}
+			}
+			if attempts > n {
+				t.Fatalf("fixed point not reached after %d one-install attempts", attempts)
+			}
+			if !db.StableState().Equal(oracle(db, s0)) {
+				t.Error("fixed point diverges from oracle")
+			}
+		})
+	}
+}
+
+// flakyInstaller wraps an Installer with a transiently failing
+// InstallPage: the first `budget` installs are silently lost (the write
+// never reaches stable storage). For page-LSN recovery a lost install
+// is indistinguishable from a crash just before it — the page keeps its
+// old LSN, the next recovery re-admits the operation, and the volatile
+// replay state (which did apply the operation) means any later install
+// of the same page carries the composed, correct value.
+type flakyInstaller struct {
+	Installer
+	budget int
+	rng    *rand.Rand
+}
+
+func (f *flakyInstaller) InstallPage(x model.Var, v model.Value, lsn core.LSN) {
+	if f.budget > 0 && f.rng.Intn(2) == 0 {
+		f.budget--
+		return // dropped on the floor
+	}
+	f.Installer.InstallPage(x, v, lsn)
+}
+
+// TestRecoverInstallingFlakyInstaller: restart recovery through a lossy
+// installer still converges to the oracle, with the invariant holding
+// at every intermediate crash. Only single-page methods are exercised:
+// silently dropping one install from a multi-page-read method (genlsn)
+// can break careful write ordering — a later operation's page lands
+// while the page it read stays stale — which is exactly why the
+// supervisor aborts whole attempts on transient faults instead of
+// dropping writes (see internal/supervise).
+func TestRecoverInstallingFlakyInstaller(t *testing.T) {
+	for name, mk := range map[string]func(*model.State) Installer{
+		"physiological": func(s *model.State) Installer { return NewPhysiological(s) },
+		"physical":      func(s *model.State) Installer { return NewPhysical(s) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(55))
+			ps := pages(3)
+			s0 := initialState(ps)
+			db := mk(s0)
+			shape := singlePageMk
+			if name == "physical" {
+				shape = anyShapeMk
+			}
+			for i := 1; i <= 10; i++ {
+				if err := db.Exec(shape(model.OpID(i*10), rng, ps)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			db.FlushLog()
+			db.Crash()
+			flaky := &flakyInstaller{Installer: db, budget: 6, rng: rng}
+			final := crashingRecoveryToFixpoint(t, flaky, s0, rng)
+			if !final.Equal(oracle(db, s0)) {
+				t.Error("flaky-installer fixed point diverges from oracle")
+			}
+		})
+	}
+}
+
 // mustCheckpointState recomputes what the stable state should be: the
 // initial state plus every checkpoint-covered operation.
 func mustCheckpointState(t *testing.T, db DB, s0 *model.State) *model.State {

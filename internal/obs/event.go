@@ -27,6 +27,12 @@ const (
 	EvWALForce EventType = "wal-force"
 	// EvDetection is a degraded-recovery integrity detection.
 	EvDetection EventType = "detection"
+	// EvAttempt is one supervised-recovery attempt finishing (Detail
+	// carries the attempt's rung and outcome).
+	EvAttempt EventType = "supervise-attempt"
+	// EvRung is a degradation-ladder transition (Detail names the rung
+	// escalated to).
+	EvRung EventType = "supervise-rung"
 )
 
 // Event is one entry of the recovery event stream. Fields are populated

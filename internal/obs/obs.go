@@ -81,6 +81,17 @@ const (
 	MDegradedRuns     = "degraded.replays"   // conservative full-replay passes
 	MDetections       = "degraded.detections" // integrity detections observed
 
+	// Supervised-recovery counters (internal/supervise).
+	MSupAttempts    = "supervise.attempts"             // recovery attempts started
+	MSupCrashes     = "supervise.nested_crashes"       // injected crashes survived mid-recovery
+	MSupTransient   = "supervise.transient_faults"     // attempts aborted by a transient install fault
+	MSupCheckpoints = "supervise.progress_checkpoints" // fuzzy progress checkpoints appended
+	MSupEscalations = "supervise.escalations"          // degradation-ladder rung changes
+	MSupConverged   = "supervise.converged"            // supervised recoveries that reached fixed point
+	MSupInstalls    = "supervise.installs"             // operations installed across all attempts
+	MSupBackoff     = "supervise.backoff"              // duration histogram: backoff slept between attempts
+	GSupProgress    = "supervise.progress"             // gauge: installed-prefix size after the last attempt
+
 	// Runtime counters (the DB implementations and substrates).
 	MDBExec        = "db.exec"        // operations executed
 	MDBCheckpoints = "db.checkpoints" // checkpoints taken
