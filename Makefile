@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race soak fuzz fuzz-smoke nestedcrash-smoke bench bench-full experiments examples tools campaign metrics cover clean
+.PHONY: all build vet test test-short race soak fuzz fuzz-smoke nestedcrash-smoke bench bench-compare bench-full experiments examples tools campaign metrics cover clean
 
 all: build vet test
 
@@ -48,10 +48,18 @@ nestedcrash-smoke:
 
 # bench runs the recovery benchmarks and the sequential-vs-parallel
 # comparison; redobench writes BENCH_parallel.json and fails when the
-# parallel engine breaks its perf contract (slower than sequential).
-bench:
+# parallel engine breaks its perf contract (slower than sequential) or
+# when allocs_per_op regresses >10% against the checked-in baseline.
+bench: bench-compare
 	$(GO) test -run xxx -bench 'Recovery|Campaign' -benchmem .
-	$(GO) run ./cmd/redobench -out BENCH_parallel.json
+
+# bench-compare benchmarks recovery against the checked-in
+# BENCH_parallel.json baseline: it prints a delta table (time and
+# allocations per configuration), gates allocs_per_op at 10% over the
+# baseline, and regenerates the artifact with the trend history
+# carried forward.
+bench-compare:
+	$(GO) run ./cmd/redobench -out BENCH_parallel.json -baseline BENCH_parallel.json
 
 bench-full:
 	$(GO) test -run xxx -bench . -benchmem .

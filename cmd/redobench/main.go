@@ -17,7 +17,16 @@
 //   - on a single CPU, where no wall-clock speedup is physically
 //     possible, parallel recovery must stay within a small overhead
 //     tolerance of sequential — the engine may not make recovery worse
-//     on the hardware it happens to land on.
+//     on the hardware it happens to land on;
+//   - with -baseline pointing at a checked-in report, allocs_per_op may
+//     not regress more than -allocs.tolerance (default 10%) against it,
+//     for sequential recovery and for every matching worker count.
+//
+// With -baseline the command also prints a delta table (time and
+// allocations against the baseline) and carries the baseline's trend
+// history forward: each report embeds a "history" array of prior runs'
+// num_cpu, gomaxprocs, and allocation numbers, so the checked-in
+// artifact records how the hot path evolved.
 package main
 
 import (
@@ -68,7 +77,45 @@ type report struct {
 		Ratio     float64     `json:"ratio_vs_uninstrumented"`
 		Tolerance float64     `json:"tolerance"`
 	} `json:"instrumentation"`
-	Verdict string `json:"verdict"`
+	// History is the allocation trend: one entry per prior benchmark
+	// run, carried forward from the -baseline report (oldest first,
+	// capped at maxHistory).
+	History []trend `json:"history,omitempty"`
+	Verdict string  `json:"verdict"`
+}
+
+// trend is one historical run in the report's trend log.
+type trend struct {
+	GeneratedAt string `json:"generated_at"`
+	NumCPU      int    `json:"num_cpu"`
+	GoMaxProcs  int    `json:"gomaxprocs"`
+	SeqNsPerOp  int64  `json:"sequential_ns_per_op"`
+	SeqAllocs   int64  `json:"sequential_allocs_per_op"`
+	ParNsPerOp  int64  `json:"parallel_ns_per_op"`
+	ParAllocs   int64  `json:"parallel_allocs_per_op"`
+	ParWorkers  int    `json:"parallel_workers"`
+}
+
+// maxHistory bounds the trend log embedded in the report.
+const maxHistory = 20
+
+// trendOf summarises a report as a trend entry, using its widest
+// parallel measurement.
+func trendOf(r *report) trend {
+	t := trend{
+		GeneratedAt: r.GeneratedAt,
+		NumCPU:      r.NumCPU,
+		GoMaxProcs:  r.GoMaxProcs,
+		SeqNsPerOp:  r.Sequential.NsPerOp,
+		SeqAllocs:   r.Sequential.Allocs,
+	}
+	if n := len(r.Parallel); n > 0 {
+		wide := r.Parallel[n-1]
+		t.ParNsPerOp = wide.NsPerOp
+		t.ParAllocs = wide.Allocs
+		t.ParWorkers = wide.Workers
+	}
+	return t
 }
 
 func main() {
@@ -78,8 +125,23 @@ func main() {
 	rounds := flag.Int("rounds", 400, "recomputation rounds per replayed operation")
 	tolerance := flag.Float64("tolerance", 1.25, "single-CPU gate: max allowed parallel/sequential time ratio")
 	obsTolerance := flag.Float64("obs.tolerance", 1.05, "instrumentation gate: max allowed instrumented/uninstrumented time ratio")
+	baseline := flag.String("baseline", "", "checked-in report to gate allocations against and inherit trend history from")
+	allocsTolerance := flag.Float64("allocs.tolerance", 1.10, "baseline gate: max allowed allocs_per_op ratio vs the baseline")
+	reps := flag.Int("reps", 3, "benchmark repetitions per configuration; the fastest is reported (damps scheduler noise in the ratio gates)")
 	debugAddr := flag.String("debug.addr", "", "serve net/http/pprof, expvar, and /metrics on this address while benchmarking (e.g. localhost:6060)")
 	flag.Parse()
+
+	var base *report
+	if *baseline != "" {
+		data, err := os.ReadFile(*baseline)
+		if err != nil {
+			fatal(fmt.Errorf("reading baseline: %w", err))
+		}
+		base = new(report)
+		if err := json.Unmarshal(data, base); err != nil {
+			fatal(fmt.Errorf("parsing baseline %s: %w", *baseline, err))
+		}
+	}
 
 	benchRec := obs.New()
 	if *debugAddr != "" {
@@ -131,7 +193,7 @@ func main() {
 	rep.Fixture.Components = probe.Plan.Components
 	rep.Fixture.Largest = probe.Plan.Largest
 
-	rep.Sequential = measure("sequential", 0, func() error {
+	rep.Sequential = measure("sequential", 0, *reps, func() error {
 		_, err := method.Recover(db)
 		return err
 	})
@@ -139,7 +201,7 @@ func main() {
 	workerCounts := []int{1, 2, 4, 8}
 	for _, w := range workerCounts {
 		w := w
-		m := measure(fmt.Sprintf("workers=%d", w), w, func() error {
+		m := measure(fmt.Sprintf("workers=%d", w), w, *reps, func() error {
 			_, err := method.RecoverParallel(db, method.ParallelOptions{Workers: w})
 			return err
 		})
@@ -151,7 +213,7 @@ func main() {
 	// metrics recorder (counters, phase spans; no event sink — the
 	// always-on configuration). The gate keeps instrumentation honest:
 	// observability may not tax recovery beyond the tolerance.
-	rep.Instrumentation.Observed = measure("sequential+obs", 0, func() error {
+	rep.Instrumentation.Observed = measure("sequential+obs", 0, *reps, func() error {
 		_, err := method.RecoverObserved(db, benchRec)
 		return err
 	})
@@ -162,6 +224,18 @@ func main() {
 	fail := ""
 	if rep.Instrumentation.Ratio > *obsTolerance {
 		fail = fmt.Sprintf("instrumented recovery is %.3fx uninstrumented, over the %.2fx tolerance", rep.Instrumentation.Ratio, *obsTolerance)
+	}
+	if base != nil {
+		// Inherit the baseline's trend log and append the baseline run
+		// itself, so the committed artifact accumulates one entry per
+		// regenerate.
+		rep.History = append(append(rep.History, base.History...), trendOf(base))
+		if n := len(rep.History); n > maxHistory {
+			rep.History = rep.History[n-maxHistory:]
+		}
+		if msg := gateAllocs(&rep, base, *allocsTolerance); msg != "" && fail == "" {
+			fail = msg
+		}
 	}
 	if rep.GoMaxProcs >= 2 {
 		best := 0.0
@@ -205,35 +279,110 @@ func main() {
 	}
 	fmt.Printf("instrumented: %s (%.3fx of uninstrumented, tolerance %.2fx)\n",
 		fmtNs(rep.Instrumentation.Observed.NsPerOp), rep.Instrumentation.Ratio, *obsTolerance)
+	if base != nil {
+		printDelta(&rep, base)
+	}
 	fmt.Printf("wrote %s\n%s\n", *out, rep.Verdict)
 	if fail != "" {
 		os.Exit(1)
 	}
 }
 
-// measure runs fn under the testing benchmark harness.
-func measure(name string, workers int, fn func() error) measurement {
-	var failed error
-	r := testing.Benchmark(func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			if err := fn(); err != nil {
-				failed = err
-				b.Fatal(err)
+// gateAllocs compares allocations against the baseline report:
+// sequential recovery and every worker count present in both reports
+// may not allocate more than tolerance times the baseline. Timing is
+// deliberately not gated here — it is machine-dependent, while
+// allocs_per_op is deterministic and comparable across machines.
+func gateAllocs(rep, base *report, tolerance float64) string {
+	check := func(name string, now, was int64) string {
+		if was > 0 && float64(now) > float64(was)*tolerance {
+			return fmt.Sprintf("%s allocs_per_op regressed %d → %d (%.2fx, over the %.2fx baseline tolerance)",
+				name, was, now, float64(now)/float64(was), tolerance)
+		}
+		return ""
+	}
+	if msg := check("sequential", rep.Sequential.Allocs, base.Sequential.Allocs); msg != "" {
+		return msg
+	}
+	baseByWorkers := make(map[int]measurement, len(base.Parallel))
+	for _, m := range base.Parallel {
+		baseByWorkers[m.Workers] = m
+	}
+	for _, m := range rep.Parallel {
+		if was, ok := baseByWorkers[m.Workers]; ok {
+			if msg := check(m.Name, m.Allocs, was.Allocs); msg != "" {
+				return msg
 			}
 		}
-	})
-	if failed != nil {
-		fatal(failed)
 	}
-	return measurement{
-		Name:    name,
-		Workers: workers,
-		NsPerOp: r.NsPerOp(),
-		Runs:    r.N,
-		Bytes:   r.AllocedBytesPerOp(),
-		Allocs:  r.AllocsPerOp(),
+	return ""
+}
+
+// printDelta prints the per-configuration deltas against the baseline.
+func printDelta(rep, base *report) {
+	fmt.Printf("delta vs baseline (%s):\n", base.GeneratedAt)
+	fmt.Printf("  %-14s %12s %12s %8s %10s %10s %8s\n", "config", "base ns/op", "ns/op", "Δns", "base allocs", "allocs", "Δallocs")
+	row := func(name string, b, n measurement) {
+		fmt.Printf("  %-14s %12d %12d %7s%% %10d %10d %7s%%\n",
+			name, b.NsPerOp, n.NsPerOp, pct(b.NsPerOp, n.NsPerOp), b.Allocs, n.Allocs, pct(b.Allocs, n.Allocs))
 	}
+	row("sequential", base.Sequential, rep.Sequential)
+	baseByWorkers := make(map[int]measurement, len(base.Parallel))
+	for _, m := range base.Parallel {
+		baseByWorkers[m.Workers] = m
+	}
+	for _, m := range rep.Parallel {
+		if b, ok := baseByWorkers[m.Workers]; ok {
+			row(m.Name, b, m)
+		}
+	}
+}
+
+// pct formats the signed percentage change from a to b.
+func pct(a, b int64) string {
+	if a == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f", 100*float64(b-a)/float64(a))
+}
+
+// measure runs fn under the testing benchmark harness reps times and
+// reports the fastest run: minimum-of-N damps scheduler and frequency
+// noise, which matters for the ratio gates on small fixtures. Allocs
+// are effectively deterministic; the minimum also sheds one-time pool
+// warm-up from the first repetition.
+func measure(name string, workers, reps int, fn func() error) measurement {
+	var best measurement
+	for i := 0; i < reps || i < 1; i++ {
+		var failed error
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := fn(); err != nil {
+					failed = err
+					b.Fatal(err)
+				}
+			}
+		})
+		if failed != nil {
+			fatal(failed)
+		}
+		m := measurement{
+			Name:    name,
+			Workers: workers,
+			NsPerOp: r.NsPerOp(),
+			Runs:    r.N,
+			Bytes:   r.AllocedBytesPerOp(),
+			Allocs:  r.AllocsPerOp(),
+		}
+		if i == 0 || m.NsPerOp < best.NsPerOp {
+			best.Name, best.Workers, best.NsPerOp, best.Runs, best.Bytes = m.Name, m.Workers, m.NsPerOp, m.Runs, m.Bytes
+		}
+		if i == 0 || m.Allocs < best.Allocs {
+			best.Allocs = m.Allocs
+		}
+	}
+	return best
 }
 
 func round3(x float64) float64 { return float64(int64(x*1000+0.5)) / 1000 }

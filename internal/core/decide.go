@@ -23,6 +23,10 @@ type RedoDecision struct {
 	// Replay lists the admitted records in LSN order — the order
 	// sequential Recover would have applied them.
 	Replay []*Record
+	// ReplayIdx lists, parallel to Replay, each admitted record's index
+	// in log.Records(); the dense replay engine uses it to address the
+	// log view's record slice without a lookup.
+	ReplayIdx []int
 	// Examined counts log records examined (loop iterations).
 	Examined int
 }
@@ -54,8 +58,14 @@ func DecideRedo(state *model.State, log *Log, checkpoint graph.Set[model.OpID], 
 // exactly DecideRedo.
 func DecideRedoObserved(rec *obs.Recorder, state *model.State, log *Log, checkpoint graph.Set[model.OpID], redo RedoTest, analyze AnalyzeFunc) *RedoDecision {
 	d := &RedoDecision{
-		RedoSet:   graph.NewSet[model.OpID](),
-		Installed: graph.NewSet[model.OpID](),
+		// Presized: every logged operation lands in exactly one of the
+		// two sets (see RecoverDenseObserved).
+		RedoSet:   make(graph.Set[model.OpID], log.Len()),
+		Installed: make(graph.Set[model.OpID], log.Len()),
+		// Presized for the worst case (every record admitted): append
+		// growth on a long replay list is pure reallocation overhead.
+		Replay:    make([]*Record, 0, log.Len()),
+		ReplayIdx: make([]int, 0, log.Len()),
 	}
 	rec.Touch(obs.MRedoExamined, obs.MRedoAdmitted, obs.MRedoSkipped)
 	// Hot path: resolved counter handles, raw clock accumulation, and
@@ -68,7 +78,7 @@ func DecideRedoObserved(rec *obs.Recorder, state *model.State, log *Log, checkpo
 	span := rec.StartSpan(obs.PhaseDecide)
 	var analysisTotal time.Duration
 	var analysis Analysis
-	for _, r := range log.Records() {
+	for i, r := range log.Records() {
 		if checkpoint.Has(r.Op.ID()) {
 			d.Installed.Add(r.Op.ID())
 			cCheckpointed.Add(1)
@@ -95,6 +105,7 @@ func DecideRedoObserved(rec *obs.Recorder, state *model.State, log *Log, checkpo
 		if redo(r.Op, state, log, analysis) {
 			d.RedoSet.Add(r.Op.ID())
 			d.Replay = append(d.Replay, r)
+			d.ReplayIdx = append(d.ReplayIdx, i)
 			cAdmitted.Add(1)
 			if rec.Sinking() {
 				rec.Emit(obs.Event{Type: obs.EvAdmit, LSN: int64(r.LSN), Op: r.Op.String(), Verdict: "admit"})

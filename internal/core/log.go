@@ -29,11 +29,33 @@ type Record struct {
 	LSN    LSN
 	Op     *model.Op
 	Labels map[string]string
+	// size caches the simulated wire size, sealed by SetSizeBytes at
+	// append/label time so SizeBytes never re-parses the "bytes" label
+	// on the hot path.
+	size  int
+	sized bool
 }
 
-// SizeBytes returns the simulated wire size recorded in the "bytes"
-// label by the log manager, or 0 when absent.
+// SetSizeBytes caches the record's simulated wire size. The log
+// manager calls it when it attaches the "bytes" label at append time;
+// the label stays authoritative for decoded legacy records that never
+// pass through SetSizeBytes.
+func (r *Record) SetSizeBytes(n int) {
+	if n < 0 {
+		n = 0
+	}
+	r.size, r.sized = n, true
+}
+
+// SizeBytes returns the simulated wire size recorded by the log
+// manager, or 0 when absent. The cached size set at append time is
+// preferred; decoded legacy records fall back to parsing the "bytes"
+// label per call — without caching the result, so concurrently read
+// records stay race-free.
 func (r *Record) SizeBytes() int {
+	if r.sized {
+		return r.size
+	}
 	n, err := strconv.Atoi(r.Labels["bytes"])
 	if err != nil {
 		return 0
@@ -125,7 +147,14 @@ func (l *Log) Ops() []*model.Op {
 // crash; the returned log continues numbering from the cut, so LSNs are
 // never reused even when the surviving portion is empty.
 func (l *Log) Prefix(upTo LSN) *Log {
-	p := NewLog()
+	// Presized for the common whole-log cut: recovery re-projects the
+	// stable log often, and incremental map/slice growth is pure
+	// overhead.
+	p := &Log{
+		records: make([]*Record, 0, len(l.records)),
+		byOp:    make(map[model.OpID]*Record, len(l.records)),
+		nextLSN: 1,
+	}
 	for _, r := range l.records {
 		if r.LSN > upTo {
 			break

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"sync"
+
+	"redotheory/internal/dense"
+)
+
+// RecordView is the flat, interned projection of one log record: the
+// operation's read and write sets as dense variable ids, aligned
+// index-for-index with Rec.Op.Reads() and Rec.Op.Writes(), plus the
+// record's cached wire size. Views are what the dense replay engines
+// iterate instead of re-hashing variable names per record.
+type RecordView struct {
+	Rec *Record
+	// Reads and Writes are arena-backed slices shared by the whole
+	// LogView; callers must not modify them.
+	Reads  []uint32
+	Writes []uint32
+	// Size is Rec.SizeBytes, precomputed once at view-build time.
+	Size int
+}
+
+// LogView is the dense projection of a log: one interner covering
+// every variable any logged operation touches, and one RecordView per
+// record, aligned with log.Records(). A LogView is immutable after
+// construction and safe for concurrent readers; ids are only
+// meaningful relative to In.
+type LogView struct {
+	In    *dense.Interner
+	Views []RecordView
+}
+
+// NewLogView builds the dense projection of the log: a single pass
+// over the records interns every read/write variable (this is where
+// strings stop) and lays the id slices out in one shared arena.
+func NewLogView(log *Log) *LogView {
+	recs := log.Records()
+	total := 0
+	for _, r := range recs {
+		total += len(r.Op.Reads()) + len(r.Op.Writes())
+	}
+	arena := make([]uint32, 0, total)
+	in := dense.NewInterner()
+	lv := &LogView{In: in, Views: make([]RecordView, len(recs))}
+	for i, r := range recs {
+		v := &lv.Views[i]
+		v.Rec = r
+		v.Size = r.SizeBytes()
+		start := len(arena)
+		for _, x := range r.Op.Reads() {
+			arena = append(arena, in.Intern(x))
+		}
+		v.Reads = arena[start:len(arena):len(arena)]
+		start = len(arena)
+		for _, x := range r.Op.Writes() {
+			arena = append(arena, in.Intern(x))
+		}
+		v.Writes = arena[start:len(arena):len(arena)]
+	}
+	return lv
+}
+
+// ViewCache memoizes LogView construction the way GraphCache memoizes
+// graph construction, and under the same key: (first record, last
+// record, length) by pointer identity. A view is a pure function of
+// the record sequence, records are shared by every derived log
+// (Prefix, StableLog projections), and recovery re-examines the same
+// stable prefix many times — once per bench iteration, once per
+// oracle leg — so the interner and id slices are built once per
+// distinct prefix instead of once per recovery.
+type ViewCache struct {
+	mu      sync.Mutex
+	entries map[graphKey]*LogView
+	fifo    []graphKey
+	cap     int
+	// Hits and Misses count lookups, for tests and tuning.
+	Hits, Misses int
+}
+
+// NewViewCache returns a cache holding at most capacity log prefixes
+// (FIFO eviction; capacity < 1 means 1).
+func NewViewCache(capacity int) *ViewCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &ViewCache{entries: make(map[graphKey]*LogView), cap: capacity}
+}
+
+// DefaultViews is the process-wide cache used by the dense recovery
+// engines.
+var DefaultViews = NewViewCache(128)
+
+// ViewOf returns the (possibly cached) dense view of the log's record
+// sequence, building and caching it on first sight. Callers must
+// treat the view as immutable.
+func (c *ViewCache) ViewOf(log *Log) *LogView {
+	key := keyOf(log)
+	c.mu.Lock()
+	if lv, ok := c.entries[key]; ok {
+		c.Hits++
+		c.mu.Unlock()
+		return lv
+	}
+	c.Misses++
+	c.mu.Unlock()
+
+	// Build outside the lock, as GraphCache does: a rare duplicate
+	// build beats serializing every worker on construction.
+	lv := NewLogView(log)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		return e
+	}
+	for len(c.fifo) >= c.cap {
+		evict := c.fifo[0]
+		c.fifo = c.fifo[1:]
+		delete(c.entries, evict)
+	}
+	c.entries[key] = lv
+	c.fifo = append(c.fifo, key)
+	return lv
+}
+
+// Len returns the number of cached prefixes.
+func (c *ViewCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

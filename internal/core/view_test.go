@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"redotheory/internal/model"
+)
+
+// viewFixtureLog builds a small log mixing blind writes, read-modify-
+// write chains, and multi-variable operations, with wire sizes attached
+// the way the log manager does.
+func viewFixtureLog() *Log {
+	l := NewLog()
+	mk := func(id model.OpID, reads, writes []model.Var) {
+		r := l.Append(model.ReadWrite(id, fmt.Sprintf("op%d", id), reads, writes))
+		r.SetSizeBytes(int(id) * 10)
+	}
+	mk(1, nil, []model.Var{"x"})
+	mk(2, []model.Var{"x"}, []model.Var{"x", "y"})
+	mk(3, []model.Var{"y", "x"}, []model.Var{"z"})
+	mk(4, nil, []model.Var{"w", "y"})
+	mk(5, []model.Var{"z", "w"}, []model.Var{"x"})
+	return l
+}
+
+// TestLogViewAlignment: every record view's Reads and Writes are the
+// record's Op.Reads()/Op.Writes() interned index-for-index, and Size is
+// the record's SizeBytes — the invariant the dense replay engines rely
+// on when they pair view ids with the operation's variable slices.
+func TestLogViewAlignment(t *testing.T) {
+	l := viewFixtureLog()
+	lv := NewLogView(l)
+	if len(lv.Views) != l.Len() {
+		t.Fatalf("view has %d records, log has %d", len(lv.Views), l.Len())
+	}
+	for i, r := range l.Records() {
+		v := &lv.Views[i]
+		if v.Rec != r {
+			t.Fatalf("view %d points at record %v, want %v", i, v.Rec, r)
+		}
+		reads, writes := r.Op.Reads(), r.Op.Writes()
+		if len(v.Reads) != len(reads) || len(v.Writes) != len(writes) {
+			t.Fatalf("view %d: %d reads / %d writes, op has %d / %d",
+				i, len(v.Reads), len(v.Writes), len(reads), len(writes))
+		}
+		for k, id := range v.Reads {
+			if got := lv.In.Var(id); got != reads[k] {
+				t.Errorf("view %d read %d: id %d resolves to %q, op reads %q", i, k, id, got, reads[k])
+			}
+		}
+		for k, id := range v.Writes {
+			if got := lv.In.Var(id); got != writes[k] {
+				t.Errorf("view %d write %d: id %d resolves to %q, op writes %q", i, k, id, got, writes[k])
+			}
+		}
+		if v.Size != r.SizeBytes() {
+			t.Errorf("view %d: Size = %d, record SizeBytes = %d", i, v.Size, r.SizeBytes())
+		}
+	}
+}
+
+// TestViewCacheReuse: the cache hands back the identical *LogView for
+// an unchanged record sequence (the pointer-identity key GraphCache
+// uses) and a fresh one once the sequence differs.
+func TestViewCacheReuse(t *testing.T) {
+	c := NewViewCache(4)
+	l := viewFixtureLog()
+	v1 := c.ViewOf(l)
+	v2 := c.ViewOf(l)
+	if v1 != v2 {
+		t.Fatal("cache rebuilt the view for an unchanged log")
+	}
+	// A prefix shares record pointers but differs in length — it must
+	// get its own view.
+	p := l.Prefix(3)
+	vp := c.ViewOf(p)
+	if vp == v1 {
+		t.Fatal("cache returned the full log's view for a prefix")
+	}
+	if len(vp.Views) != 3 {
+		t.Fatalf("prefix view has %d records, want 3", len(vp.Views))
+	}
+	// Appending changes the sequence; the view must be rebuilt.
+	l.Append(model.ReadWrite(6, "op6", nil, []model.Var{"q"}))
+	v3 := c.ViewOf(l)
+	if v3 == v1 {
+		t.Fatal("cache returned the stale view after an append")
+	}
+	if len(v3.Views) != 6 {
+		t.Fatalf("rebuilt view has %d records, want 6", len(v3.Views))
+	}
+}
+
+// TestRecordSizeBytes: the append-time cache is authoritative and
+// parse-free; decoded legacy records (labels only, never sealed) fall
+// back to parsing the "bytes" label per call; absent both, zero.
+func TestRecordSizeBytes(t *testing.T) {
+	sealed := &Record{Labels: map[string]string{"bytes": "999"}}
+	sealed.SetSizeBytes(42)
+	if got := sealed.SizeBytes(); got != 42 {
+		t.Errorf("sealed record: SizeBytes = %d, want the cached 42 over the label's 999", got)
+	}
+
+	legacy := &Record{Labels: map[string]string{"bytes": "17"}}
+	if got := legacy.SizeBytes(); got != 17 {
+		t.Errorf("legacy record: SizeBytes = %d, want 17 parsed from the label", got)
+	}
+	// Parsing is per-call, never cached: a label rewrite is visible.
+	legacy.Labels["bytes"] = "23"
+	if got := legacy.SizeBytes(); got != 23 {
+		t.Errorf("legacy record after label rewrite: SizeBytes = %d, want 23", got)
+	}
+
+	bare := &Record{}
+	if got := bare.SizeBytes(); got != 0 {
+		t.Errorf("bare record: SizeBytes = %d, want 0", got)
+	}
+	garbled := &Record{Labels: map[string]string{"bytes": "not-a-number"}}
+	if got := garbled.SizeBytes(); got != 0 {
+		t.Errorf("garbled label: SizeBytes = %d, want 0", got)
+	}
+
+	clamped := &Record{}
+	clamped.SetSizeBytes(-5)
+	if got := clamped.SizeBytes(); got != 0 {
+		t.Errorf("negative size: SizeBytes = %d, want clamped 0", got)
+	}
+}

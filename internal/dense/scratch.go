@@ -1,0 +1,33 @@
+package dense
+
+import (
+	"sync"
+
+	"redotheory/internal/model"
+)
+
+// Scratch is a pooled replay scratchpad. The hot loop rebuilds an
+// operation's read set before every Compute; reusing one map per
+// worker instead of allocating one per record removes the dominant
+// per-record allocation. The map's buckets survive clear(), so after
+// warm-up the loop steady-states at zero read-side allocations.
+type Scratch struct {
+	// Reads is the reusable read-set map. Users must clear it before
+	// assembling each record's reads (replay loops do) so an apply
+	// function never observes a stale key from a previous record.
+	Reads model.ReadSet
+}
+
+var scratchPool = sync.Pool{
+	New: func() any { return &Scratch{Reads: make(model.ReadSet, 8)} },
+}
+
+// GetScratch takes a scratchpad from the pool. Callers must return it
+// with PutScratch (typically via defer) when the replay loop ends.
+func GetScratch() *Scratch { return scratchPool.Get().(*Scratch) }
+
+// PutScratch clears and returns a scratchpad to the pool.
+func PutScratch(s *Scratch) {
+	clear(s.Reads)
+	scratchPool.Put(s)
+}

@@ -128,15 +128,21 @@ type Stats struct {
 // procedure's Result. The DB itself is not modified; recovery runs on a
 // clone of the stable state, exactly as the Recovery Invariant's
 // hypothetical does.
+//
+// Replay runs on the dense representation (core.RecoverDense): interned
+// record views, a columnar state, and pooled scratch make the hot path
+// allocation-light, while the map-based core.Recover remains the
+// reference procedure the checker and the differential tests audit
+// against.
 func Recover(db DB) (*core.Result, error) {
-	return core.Recover(db.StableState(), db.StableLog(), db.Checkpointed(), db.RedoTest(), db.Analyze())
+	return core.RecoverDense(db.StableState(), db.StableLog(), db.Checkpointed(), db.RedoTest(), db.Analyze())
 }
 
 // RecoverObserved is Recover with telemetry: phase spans, redo-test
 // verdict events, and replay timing flow to the recorder. A nil recorder
 // makes it exactly Recover.
 func RecoverObserved(db DB, rec *obs.Recorder) (*core.Result, error) {
-	return core.RecoverObserved(rec, db.StableState(), db.StableLog(), db.Checkpointed(), db.RedoTest(), db.Analyze())
+	return core.RecoverDenseObserved(rec, db.StableState(), db.StableLog(), db.Checkpointed(), db.RedoTest(), db.Analyze())
 }
 
 // base carries the substrate wiring shared by all methods.

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"redotheory/internal/core"
+	"redotheory/internal/dense"
 	"redotheory/internal/graph"
 	"redotheory/internal/model"
 	"redotheory/internal/obs"
@@ -54,11 +55,15 @@ type ParallelResult struct {
 //     conflict graph. This is the installation-graph concurrency argument
 //     of Theorem 3 extended with the write-read edges recomputation
 //     needs (see partition's package comment and DESIGN.md §8).
-//  3. Replay (parallel): a worker pool replays components concurrently.
-//     Each worker reads the shared stable state (never written during
-//     this phase) through a private overlay holding its component's
-//     writes, then the overlays — disjoint by construction — merge into
-//     the final state.
+//  3. Replay (parallel): a worker pool replays components concurrently
+//     on the dense representation (internal/dense): records are
+//     interned views, the state is a flat value arena, and because
+//     components write disjoint variable ids, each worker stores its
+//     writes straight into its disjoint arena slots — the per-component
+//     overlay of the original engine degenerated into a slice of the
+//     arena, with a pooled scratch read-set map as the only per-worker
+//     buffer. The merge phase then re-marks the presence bitmap and
+//     installs the written ids into the map-backed state.
 //
 // Like Recover via the DB surface, it does not modify the crashed DB:
 // it works on the fresh projections StableState, StableLog, and a fresh
@@ -70,11 +75,11 @@ func RecoverParallel(db DB, opts ParallelOptions) (*ParallelResult, error) {
 	}
 	state := db.StableState()
 	log := db.StableLog()
-	res, plan, err := recoverPartitioned(rec, state, log, db.Checkpointed(), db.RedoTest(), db.Analyze(), opts.Workers)
+	res, stats, err := recoverPartitioned(rec, state, log, db.Checkpointed(), db.RedoTest(), db.Analyze(), opts.Workers)
 	if err != nil {
 		return nil, err
 	}
-	out := &ParallelResult{Result: res, Plan: plan.Stats(), Workers: poolSize(opts.Workers, len(plan.Components))}
+	out := &ParallelResult{Result: res, Plan: stats, Workers: poolSize(opts.Workers, stats.Components)}
 	if opts.Verify {
 		seq, err := core.Recover(db.StableState(), log, db.Checkpointed(), db.RedoTest(), db.Analyze())
 		if err != nil {
@@ -87,21 +92,23 @@ func RecoverParallel(db DB, opts ParallelOptions) (*ParallelResult, error) {
 	return out, nil
 }
 
-// recoverPartitioned is the engine: decide, partition, replay.
-func recoverPartitioned(rec *obs.Recorder, state *model.State, log *core.Log, checkpoint graph.Set[model.OpID], redo core.RedoTest, analyze core.AnalyzeFunc, workers int) (*core.Result, *partition.Plan, error) {
+// recoverPartitioned is the engine: decide, partition, replay — all on
+// the dense representation past the decision phase.
+func recoverPartitioned(rec *obs.Recorder, state *model.State, log *core.Log, checkpoint graph.Set[model.OpID], redo core.RedoTest, analyze core.AnalyzeFunc, workers int) (*core.Result, partition.Stats, error) {
 	decision := core.DecideRedoObserved(rec, state, log, checkpoint, redo, analyze)
+	lv := core.DefaultViews.ViewOf(log)
 
 	ps := rec.StartSpan(obs.PhasePartition)
-	plan := partition.FromRecords(decision.Replay)
+	plan := partition.FromViews(lv.Views, decision.ReplayIdx, lv.In.Len())
 	ps.End()
 	rec.Inc(obs.MPartitionPlans)
 	for _, c := range plan.Components {
-		rec.Observe(obs.MPartitionWidth, int64(len(c.Records)))
+		rec.Observe(obs.MPartitionWidth, int64(len(c.Idx)))
 	}
 	rec.SetGauge(obs.GPartitionLargest, int64(plan.MaxComponentLen()))
 
-	if err := replayPlan(rec, state, plan, workers); err != nil {
-		return nil, nil, err
+	if err := replayPlan(rec, state, lv, plan, workers); err != nil {
+		return nil, partition.Stats{}, err
 	}
 
 	res := &core.Result{
@@ -110,10 +117,13 @@ func recoverPartitioned(rec *obs.Recorder, state *model.State, log *core.Log, ch
 		Installed: decision.Installed,
 		Examined:  decision.Examined,
 	}
-	for _, r := range decision.Replay {
-		res.Replayed = append(res.Replayed, r.Op.ID())
+	if len(decision.Replay) > 0 {
+		res.Replayed = make([]model.OpID, len(decision.Replay))
+		for i, r := range decision.Replay {
+			res.Replayed[i] = r.Op.ID()
+		}
 	}
-	return res, plan, nil
+	return res, plan.Stats(), nil
 }
 
 // poolSize bounds the worker count by the available parallelism and the
@@ -140,10 +150,16 @@ type replayError struct {
 
 // replayPlan applies the plan's components to the state, components
 // concurrently across a pool of workers, records inside a component in
-// LSN order. Reads go through a per-component overlay over the shared
-// base state; the base is never mutated until every worker has finished,
-// then the disjoint overlays merge in.
-func replayPlan(rec *obs.Recorder, state *model.State, plan *partition.Plan, workers int) error {
+// LSN order, on the dense representation. Workers replay against a
+// shared dense projection of the base state: reads of stable variables
+// are concurrent-safe (never written during this phase), and because
+// components write disjoint variable ids, each worker stores its
+// writes directly into its own disjoint arena slots — the overlay of
+// the map-based engine, collapsed into the arena itself. The presence
+// bitmap shares words across ids, so workers skip it (StoreRaw); the
+// sequential merge phase re-marks the written ids and installs them
+// into the map-backed state.
+func replayPlan(rec *obs.Recorder, state *model.State, lv *core.LogView, plan *partition.DensePlan, workers int) error {
 	if plan.Ops == 0 {
 		// Record zero-duration replay/merge phases so every observed
 		// recovery reports the full phase breakdown, admitted work or not.
@@ -154,7 +170,7 @@ func replayPlan(rec *obs.Recorder, state *model.State, plan *partition.Plan, wor
 	workers = poolSize(workers, len(plan.Components))
 
 	rs := rec.StartSpan(obs.PhaseReplay)
-	overlays := make([]model.WriteSet, len(plan.Components))
+	ds := dense.FromState(lv.In, state)
 	work := make(chan int)
 	errs := make(chan replayError, len(plan.Components))
 	var wg sync.WaitGroup
@@ -162,15 +178,16 @@ func replayPlan(rec *obs.Recorder, state *model.State, plan *partition.Plan, wor
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			scratch := dense.GetScratch()
+			defer dense.PutScratch(scratch)
 			for ci := range work {
-				overlay, err := replayComponent(state, plan.Components[ci])
-				if err.err != nil {
+				c := plan.Components[ci]
+				if err := replayComponent(ds, lv, c, scratch.Reads); err.err != nil {
 					errs <- err
 					continue
 				}
 				rec.Inc(obs.MReplayComponents)
-				rec.Add(obs.MReplayRecords, int64(len(plan.Components[ci].Records)))
-				overlays[ci] = overlay
+				rec.Add(obs.MReplayRecords, int64(len(c.Idx)))
 			}
 		}()
 	}
@@ -193,42 +210,46 @@ func replayPlan(rec *obs.Recorder, state *model.State, plan *partition.Plan, wor
 		return first.err
 	}
 
-	// Merge: overlays write disjoint variables, so any order works; use
-	// component order for determinism anyway.
+	// Merge: components write disjoint ids, so any order works; use
+	// component order for determinism anyway. Mark restores the
+	// presence bitmap the raw worker stores skipped, and WriteBack is
+	// where the dense representation rejoins the map/string API.
 	ms := rec.StartSpan(obs.PhaseMerge)
-	for _, overlay := range overlays {
-		for x, v := range overlay {
-			state.Set(x, v)
+	for _, c := range plan.Components {
+		for _, id := range c.Writes {
+			ds.Mark(id)
 		}
+		ds.WriteBack(state, c.Writes)
 	}
 	ms.End()
 	return nil
 }
 
 // replayComponent recomputes a component's operations in LSN order
-// against the shared base state plus the component's own accumulated
-// writes. The base is only read — concurrent with other workers' reads —
-// and no variable this component reads is written by any other component
-// (the partition invariant), so every read observes exactly the value
-// sequential replay would have observed.
-func replayComponent(base *model.State, c *partition.Component) (model.WriteSet, replayError) {
-	overlay := make(model.WriteSet)
-	for _, r := range c.Records {
-		reads := make(model.ReadSet, len(r.Op.Reads()))
-		for _, x := range r.Op.Reads() {
-			if v, ok := overlay[x]; ok {
-				reads[x] = v
-			} else {
-				reads[x] = base.Get(x)
-			}
+// against the shared dense base state plus the component's own
+// accumulated writes, which live directly in the component's disjoint
+// arena slots. The base ids are only read — concurrent with other
+// workers' reads — and no variable this component reads is written by
+// any other component (the partition invariant), so every read
+// observes exactly the value sequential replay would have observed.
+// reads is the worker's pooled scratch map, cleared per record.
+func replayComponent(ds *dense.State, lv *core.LogView, c *partition.DenseComponent, reads model.ReadSet) replayError {
+	for _, vi := range c.Idx {
+		v := &lv.Views[vi]
+		op := v.Rec.Op
+		clear(reads)
+		rvars := op.Reads()
+		for k, id := range v.Reads {
+			reads[rvars[k]] = ds.Value(id)
 		}
-		ws, err := r.Op.Compute(reads)
+		ws, err := op.ComputeFrom(reads)
 		if err != nil {
-			return nil, replayError{lsn: r.LSN, err: fmt.Errorf("core: replaying %s: %w", r.Op, err)}
+			return replayError{lsn: v.Rec.LSN, err: fmt.Errorf("core: replaying %s: %w", op, err)}
 		}
-		for x, v := range ws {
-			overlay[x] = v
+		wvars := op.Writes()
+		for k, id := range v.Writes {
+			ds.StoreRaw(id, ws[wvars[k]])
 		}
 	}
-	return overlay, replayError{}
+	return replayError{}
 }

@@ -148,7 +148,17 @@ func (o *Op) Compute(reads ReadSet) (WriteSet, error) {
 	for _, v := range o.reads {
 		in[v] = reads[v]
 	}
-	out := o.apply(in)
+	return o.ComputeFrom(in)
+}
+
+// ComputeFrom is Compute for hot replay paths: it runs the operation's
+// function directly on the caller-assembled map instead of copying it
+// into a fresh one. The caller must populate reads with exactly the
+// operation's read set (the dense replay engines rebuild a pooled map
+// per record), and the apply function must not retain or mutate the
+// map beyond the call. Output validation is identical to Compute.
+func (o *Op) ComputeFrom(reads ReadSet) (WriteSet, error) {
+	out := o.apply(reads)
 	if len(out) != len(o.writes) {
 		return nil, fmt.Errorf("model: operation %s wrote %d variables, want write set of %d", o, len(out), len(o.writes))
 	}

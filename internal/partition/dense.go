@@ -1,0 +1,143 @@
+package partition
+
+import (
+	"redotheory/internal/core"
+)
+
+// DenseComponent is a Component in the interned representation: record
+// indexes into a log view instead of record pointers, and a flat slice
+// of written variable ids instead of a map-backed set. Write-id slices
+// are disjoint across components by construction, exactly like
+// Component.Writes.
+type DenseComponent struct {
+	// Idx are indexes into the log view's Views slice, in LSN order
+	// (the component's topological schedule).
+	Idx []int
+	// Writes are the unique interned ids the component's operations
+	// write, ascending.
+	Writes []uint32
+}
+
+// DensePlan is a Plan over dense record views.
+type DensePlan struct {
+	// Components in deterministic order (by first record LSN).
+	Components []*DenseComponent
+	// Ops is the total number of records scheduled.
+	Ops int
+}
+
+// MaxComponentLen returns the longest component's length — the
+// critical path of the plan in records (0 for an empty plan).
+func (p *DensePlan) MaxComponentLen() int {
+	m := 0
+	for _, c := range p.Components {
+		if len(c.Idx) > m {
+			m = len(c.Idx)
+		}
+	}
+	return m
+}
+
+// Stats returns the plan's summary numbers.
+func (p *DensePlan) Stats() Stats {
+	return Stats{Ops: p.Ops, Components: len(p.Components), Largest: p.MaxComponentLen()}
+}
+
+// FromViews is FromRecords on the dense representation: it plans the
+// replay of the records named by replayIdx (indexes into views, in LSN
+// order, as the decision phase yields them) with the same interference
+// fusion, but the writer and pending-reader tables become flat slices
+// indexed by interned variable id — numIDs is the interner's Len() —
+// instead of maps keyed by variable name. Same partition, no hashing:
+// TestFromViewsMatchesFromRecords asserts the correspondence.
+func FromViews(views []core.RecordView, replayIdx []int, numIDs int) *DensePlan {
+	uf := newUnionFind(len(replayIdx))
+	// writerOf[x] is the replay position of x's first scheduled writer
+	// (-1 when none yet); pending[x] collects readers seen before any
+	// writer — see FromRecords for why the first writer fuses with
+	// them.
+	writerOf := make([]int32, numIDs)
+	for i := range writerOf {
+		writerOf[i] = -1
+	}
+	pending := make([][]int32, numIDs)
+	for i, vi := range replayIdx {
+		v := &views[vi]
+		for _, x := range v.Writes {
+			if w := writerOf[x]; w >= 0 {
+				uf.union(int(w), i)
+			} else {
+				writerOf[x] = int32(i)
+				for _, reader := range pending[x] {
+					uf.union(int(reader), i)
+				}
+				pending[x] = nil
+			}
+		}
+		for _, x := range v.Reads {
+			if w := writerOf[x]; w >= 0 {
+				uf.union(int(w), i)
+			} else {
+				pending[x] = append(pending[x], int32(i))
+			}
+		}
+	}
+
+	// Group by root. Roots are replay positions, so flat slices replace
+	// FromRecords' byRoot map, and a counting pass sizes two shared
+	// arenas exactly: every component's Idx and Writes is a zero-growth
+	// sub-slice, so building the plan costs a fixed handful of
+	// allocations regardless of how many components there are.
+	n := len(replayIdx)
+	counts := make([]int32, n)
+	wcounts := make([]int32, n)
+	comps := 0
+	for i := 0; i < n; i++ {
+		root := uf.find(i)
+		if counts[root] == 0 {
+			comps++
+		}
+		counts[root]++
+	}
+	totalWrites := 0
+	for _, w := range writerOf {
+		if w >= 0 {
+			wcounts[uf.find(int(w))]++
+			totalWrites++
+		}
+	}
+
+	backing := make([]DenseComponent, comps)
+	idxArena := make([]int, n)
+	writeArena := make([]uint32, totalWrites)
+	compAt := make([]*DenseComponent, n)
+	plan := &DensePlan{Ops: n, Components: make([]*DenseComponent, 0, comps)}
+	idxOff, wOff := 0, 0
+	for i, vi := range replayIdx {
+		root := uf.find(i)
+		c := compAt[root]
+		if c == nil {
+			c = &backing[len(plan.Components)]
+			// Three-index sub-slices: appends fill the reserved region
+			// and can never spill into a neighbour's.
+			c.Idx = idxArena[idxOff:idxOff : idxOff+int(counts[root])]
+			idxOff += int(counts[root])
+			c.Writes = writeArena[wOff:wOff : wOff+int(wcounts[root])]
+			wOff += int(wcounts[root])
+			compAt[root] = c
+			// i ascends, so components order by first record LSN.
+			plan.Components = append(plan.Components, c)
+		}
+		c.Idx = append(c.Idx, vi)
+	}
+	// Each written id belongs to the component of its first writer;
+	// iterating writerOf ascending yields each component's Writes
+	// sorted and each id exactly once.
+	for x, w := range writerOf {
+		if w >= 0 {
+			c := compAt[uf.find(int(w))]
+			c.Writes = append(c.Writes, uint32(x))
+		}
+	}
+	return plan
+}

@@ -124,7 +124,8 @@ func (m *Manager) Append(op *model.Op, size int) *core.Record {
 	if r.Labels == nil {
 		r.Labels = map[string]string{}
 	}
-	r.Labels["bytes"] = fmt.Sprint(size)
+	r.Labels["bytes"] = strconv.Itoa(size)
+	r.SetSizeBytes(size)
 	sum := recordSum(r)
 	m.sums[r.LSN] = sum
 	m.chain[r.LSN] = fault.Sum(
