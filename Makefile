@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race soak fuzz fuzz-smoke nestedcrash-smoke bench bench-compare bench-full experiments examples tools campaign metrics cover clean
+.PHONY: all build vet test test-short race soak fuzz fuzz-smoke nestedcrash-smoke trace-smoke bench bench-compare bench-full experiments examples tools campaign metrics cover clean
 
 all: build vet test
 
@@ -46,6 +46,20 @@ nestedcrash-smoke:
 	$(GO) run -race ./cmd/redosim -nested-crash -ops 12 -pages 4 -seeds 3 -workers 4 -out nestedcrashout -metrics nestedcrash-metrics.json
 	$(GO) run ./cmd/redostats -check nestedcrash-metrics.json
 
+# trace-smoke exercises the causal-tracing pipeline end to end: trace
+# representative recoveries (every method's parallel recovery plus one
+# supervised nested-crash run), validate the artifact's well-formedness
+# with redotrace -check, render the critical path / straggler / timeline
+# profile, export the Chrome trace-event (Perfetto) form, and confirm
+# the export is valid JSON.
+trace-smoke:
+	$(GO) run ./cmd/redosim -trace trace.json -ops 24 -pages 6
+	$(GO) run ./cmd/redotrace -check trace.json
+	$(GO) run ./cmd/redotrace trace.json
+	$(GO) run ./cmd/redotrace -chrome trace-chrome.json trace.json
+	$(GO) run ./cmd/redostats -top 10 trace.json
+	if command -v python3 >/dev/null; then python3 -m json.tool trace-chrome.json > /dev/null; fi
+
 # bench runs the recovery benchmarks and the sequential-vs-parallel
 # comparison; redobench writes BENCH_parallel.json and fails when the
 # parallel engine breaks its perf contract (slower than sequential) or
@@ -76,6 +90,7 @@ examples:
 	$(GO) run ./examples/onlineaudit
 	$(GO) run ./examples/mediafault
 	$(GO) run ./examples/fuzzrepro
+	$(GO) run ./examples/tracing
 
 tools:
 	$(GO) run ./cmd/redograph -all

@@ -87,6 +87,10 @@ func main() {
 		if f.Minimized != nil {
 			fmt.Printf("      minimized to %d ops, crash=%d\n", len(f.Minimized.History.Ops), f.Minimized.Crash)
 		}
+		if f.Artifact != nil && f.Artifact.Flight != nil {
+			fmt.Printf("      flight recorder: %d events, %d crash snapshots (of %d total seen)\n",
+				len(f.Artifact.Flight.Events), len(f.Artifact.Flight.Snapshots), f.Artifact.Flight.Total)
+		}
 		if *out != "" && f.Artifact != nil {
 			writeArtifact(*out, i, f.Artifact)
 		}

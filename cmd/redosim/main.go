@@ -25,6 +25,7 @@ import (
 	"redotheory/internal/method"
 	"redotheory/internal/model"
 	"redotheory/internal/obs"
+	"redotheory/internal/rtrace"
 	"redotheory/internal/sim"
 	"redotheory/internal/supervise"
 	"redotheory/internal/trace"
@@ -72,6 +73,7 @@ func main() {
 	online := flag.Bool("online", false, "attach the live invariant auditor (page-LSN methods only)")
 	emitTrace := flag.Bool("emit-trace", false, "with -method and -crash: print the crash as a redocheck trace (JSON) instead of a report")
 	metricsOut := flag.String("metrics", "", "write a per-method telemetry report (redostats-compatible JSON) to this path; with -matrix it implies the partitioned cross-check so the full phase breakdown is observed")
+	traceOut := flag.String("trace", "", "after the selected mode, trace one representative recovery per method (plus one supervised nested-crash run) and write the causal trace artifact (redotrace's input) to this path")
 	debugAddr := flag.String("debug.addr", "", "serve net/http/pprof, expvar, and /metrics on this address for the duration of the run (e.g. localhost:6060)")
 	flag.Parse()
 
@@ -112,6 +114,9 @@ func main() {
 		emitCrashTrace(*methodName, *nOps, *nPages, *crash, *seed)
 	case *methodName != "":
 		runOne(*methodName, *nOps, *nPages, *crash, *seed, *online, *workers, metrics)
+	case *traceOut != "":
+		// Trace-only run: no experiment mode, just the representative
+		// recoveries traced below.
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -120,6 +125,84 @@ func main() {
 	if *metricsOut != "" {
 		writeMetrics(metrics, *metricsOut, sourceLabel(*matrix, *campaign, *nestedCrash, *methodName))
 	}
+	if *traceOut != "" {
+		writeTraceArtifact(*traceOut, *nOps, *nPages, *seed)
+	}
+}
+
+// writeTraceArtifact traces representative recoveries into one causal
+// trace artifact: one partitioned parallel recovery per method, plus
+// one supervised run that crashes recovery itself once — so the
+// artifact exhibits both the component fan-out and the attempt/restart
+// span shapes. All recoveries share one recorder and sink; each opens
+// its own trace id, so redotrace splits them back apart.
+func writeTraceArtifact(path string, nOps, nPages int, seed int64) {
+	rec := obs.New()
+	ms := &obs.MemorySink{}
+	rec.SetSink(ms)
+	defer rec.SetSink(nil)
+
+	pages := workload.Pages(nPages)
+	s0 := workload.InitialState(pages)
+	for _, f := range factories {
+		ops, err := workload.ForMethod(f.name, nOps, pages, seed)
+		if err != nil {
+			fatal(err)
+		}
+		db := f.mk(s0)
+		for _, op := range ops {
+			if err := db.Exec(op); err != nil {
+				fatal(err)
+			}
+		}
+		db.FlushLog()
+		db.Crash()
+		if _, err := method.RecoverParallel(db, method.ParallelOptions{Workers: 4, Recorder: rec}); err != nil {
+			fatal(fmt.Errorf("tracing %s: %w", f.name, err))
+		}
+	}
+
+	// One supervised recovery with a single nested crash: the trace gains
+	// a supervise root with two attempt spans and their install batches.
+	ops, err := workload.ForMethod("physiological", nOps, pages, seed)
+	if err != nil {
+		fatal(err)
+	}
+	db := method.NewPhysiological(s0)
+	for _, op := range ops {
+		if err := db.Exec(op); err != nil {
+			fatal(err)
+		}
+	}
+	db.FlushLog()
+	db.Crash()
+	sup, err := supervise.Supervise(db, supervise.Options{
+		MaxAttempts:   8,
+		ProgressEvery: 2,
+		Seed:          seed,
+		Crashes:       supervise.CrashPlan{Points: []int{1}},
+		Recorder:      rec,
+		Sleep:         func(time.Duration) {},
+	})
+	if err != nil {
+		fatal(fmt.Errorf("tracing supervised recovery: %w", err))
+	}
+	if !sup.Converged {
+		fatal(fmt.Errorf("tracing supervised recovery: did not converge"))
+	}
+
+	t := rtrace.New(sourceTraceLabel(nOps, nPages, seed), ms.Events())
+	if err := t.Check(); err != nil {
+		fatal(fmt.Errorf("trace self-check: %w", err))
+	}
+	if err := t.WriteFile(path); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("trace written to %s (%d events); profile with: redotrace %s\n", path, len(t.Events), path)
+}
+
+func sourceTraceLabel(nOps, nPages int, seed int64) string {
+	return fmt.Sprintf("redosim -trace (ops=%d pages=%d seed=%d)", nOps, nPages, seed)
 }
 
 // sourceLabel names the producing mode for the report's source field.

@@ -1,0 +1,88 @@
+// Command redotrace analyzes causal recovery traces (the v1 trace
+// schema written by `redobench -trace.out` and `redosim -trace`):
+//
+//	redotrace trace.json                 # summary, critical path, stragglers, timeline
+//	redotrace -check trace.json          # validate well-formedness; exit 1 on any gap
+//	redotrace -chrome out.json trace.json  # export Chrome trace-event JSON (Perfetto)
+//	redotrace -width 64 trace.json       # wider ASCII timeline
+//
+// Well-formedness means: the schema tag, a strictly increasing Seq
+// total order, non-decreasing timestamps, and balanced, properly
+// nested spans. The analysis leads with the trace's main recovery (the
+// one with the most spans): its critical path — the chain of spans the
+// recovery's wall clock actually waited on — then the straggler table
+// of interference components (slowest first, with worker/size/write
+// attribution), then an ASCII timeline. See DESIGN.md §13.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"redotheory/internal/rtrace"
+)
+
+func main() {
+	check := flag.Bool("check", false, "validate the trace against the v1 schema and exit (0 ok, 1 invalid)")
+	chrome := flag.String("chrome", "", "write Chrome trace-event JSON (Perfetto-loadable) to this path")
+	width := flag.Int("width", 48, "ASCII timeline width in columns")
+	top := flag.Int("top", 8, "straggler-table size")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: redotrace [-check] [-chrome out.json] [-width N] [-top K] trace.json")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+
+	t, err := rtrace.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	// Every mode validates first: analyzing or exporting a malformed
+	// trace would produce confidently wrong tables.
+	if err := t.Check(); err != nil {
+		fmt.Fprintf(os.Stderr, "redotrace: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	if *check {
+		fmt.Printf("%s: valid %s trace (%d events)\n", path, t.Schema, len(t.Events))
+		return
+	}
+
+	if *chrome != "" {
+		data, err := rtrace.ChromeTrace(t)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*chrome, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: wrote Chrome trace-event JSON (load in Perfetto or chrome://tracing)\n", *chrome)
+		return
+	}
+
+	recs, err := rtrace.Split(t.Events)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("source: %s  generated: %s  (%d recoveries)\n\n", t.Source, t.GeneratedAt, len(recs))
+	rtrace.RenderSummary(os.Stdout, recs)
+
+	main := rtrace.Main(recs)
+	if main == nil || len(main.Roots) == 0 {
+		fmt.Println("\nno identified spans — nothing to profile")
+		return
+	}
+	fmt.Println()
+	rtrace.RenderCriticalPath(os.Stdout, rtrace.CriticalPath(main.Roots[0]))
+	fmt.Println()
+	rtrace.RenderStragglers(os.Stdout, main, *top)
+	fmt.Println()
+	rtrace.RenderTimeline(os.Stdout, main, *width)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "redotrace: %v\n", err)
+	os.Exit(1)
+}

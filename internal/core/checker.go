@@ -8,6 +8,7 @@ import (
 	"redotheory/internal/graph"
 	"redotheory/internal/install"
 	"redotheory/internal/model"
+	"redotheory/internal/obs"
 	"redotheory/internal/stategraph"
 )
 
@@ -108,7 +109,14 @@ type Checker struct {
 // re-checks) reuses one construction. Only the state graph, which also
 // depends on the initial state, is built per checker.
 func NewChecker(log *Log, initial *model.State) (*Checker, error) {
-	cg, ig := DefaultGraphs.Graphs(log)
+	return NewCheckerObserved(log, initial, nil)
+}
+
+// NewCheckerObserved is NewChecker with cache-effectiveness telemetry:
+// the graph-cache lookup is counted on the recorder (MGraphHits /
+// MGraphMisses). A nil recorder makes it exactly NewChecker.
+func NewCheckerObserved(log *Log, initial *model.State, rec *obs.Recorder) (*Checker, error) {
+	cg, ig := DefaultGraphs.GraphsObserved(log, rec)
 	sg, err := stategraph.FromConflict(cg, initial)
 	if err != nil {
 		return nil, fmt.Errorf("core: building state graph: %w", err)

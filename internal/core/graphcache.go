@@ -5,6 +5,7 @@ import (
 
 	"redotheory/internal/conflict"
 	"redotheory/internal/install"
+	"redotheory/internal/obs"
 )
 
 // GraphCache memoizes conflict- and installation-graph construction
@@ -70,12 +71,31 @@ func keyOf(log *Log) graphKey {
 // Graphs returns the conflict graph and installation graph for the
 // log's record sequence, building and caching them on first sight.
 func (c *GraphCache) Graphs(log *Log) (*conflict.Graph, *install.Graph) {
+	cg, ig, _ := c.graphs(log)
+	return cg, ig
+}
+
+// GraphsObserved is Graphs plus cache-effectiveness telemetry: the
+// lookup is counted as a hit or miss on the recorder (MGraphHits /
+// MGraphMisses).
+func (c *GraphCache) GraphsObserved(log *Log, rec *obs.Recorder) (*conflict.Graph, *install.Graph) {
+	cg, ig, hit := c.graphs(log)
+	if hit {
+		rec.Inc(obs.MGraphHits)
+	} else {
+		rec.Inc(obs.MGraphMisses)
+	}
+	return cg, ig
+}
+
+// graphs reports whether the lookup hit alongside the graphs.
+func (c *GraphCache) graphs(log *Log) (*conflict.Graph, *install.Graph, bool) {
 	key := keyOf(log)
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
 		c.Hits++
 		c.mu.Unlock()
-		return e.cg, e.ig
+		return e.cg, e.ig, true
 	}
 	c.Misses++
 	c.mu.Unlock()
@@ -88,7 +108,7 @@ func (c *GraphCache) Graphs(log *Log) (*conflict.Graph, *install.Graph) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e, ok := c.entries[key]; ok {
-		return e.cg, e.ig
+		return e.cg, e.ig, false
 	}
 	for len(c.fifo) >= c.cap {
 		evict := c.fifo[0]
@@ -97,7 +117,7 @@ func (c *GraphCache) Graphs(log *Log) (*conflict.Graph, *install.Graph) {
 	}
 	c.entries[key] = &graphEntry{cg: cg, ig: ig}
 	c.fifo = append(c.fifo, key)
-	return cg, ig
+	return cg, ig, false
 }
 
 // Conflict returns the (possibly cached) conflict graph for the log.

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"redotheory/internal/model"
+	"redotheory/internal/obs"
 )
 
 func TestGraphCacheHitsOnSameLog(t *testing.T) {
@@ -115,5 +116,28 @@ func TestGraphCacheConcurrentAccess(t *testing.T) {
 	}
 	for w := 0; w < 8; w++ {
 		<-done
+	}
+}
+
+// TestGraphCacheCountersOnRecorder mirrors the view-cache counter test
+// for the op-graph cache: MGraphMisses on first build, MGraphHits on
+// reuse, nil recorder tolerated.
+func TestGraphCacheCountersOnRecorder(t *testing.T) {
+	c := NewGraphCache(4)
+	l := logOf(model.Incr(1, "x", 1), model.CopyPlus(2, "y", "x", 1))
+	rec := obs.New()
+	cg1, ig1 := c.GraphsObserved(l, rec)
+	if got := rec.CounterValue(obs.MGraphMisses); got != 1 {
+		t.Fatalf("graph misses = %d after first lookup, want 1", got)
+	}
+	cg2, ig2 := c.GraphsObserved(l, rec)
+	if cg2 != cg1 || ig2 != ig1 {
+		t.Fatal("cache returned different graphs for the same prefix")
+	}
+	if got := rec.CounterValue(obs.MGraphHits); got != 1 {
+		t.Fatalf("graph hits = %d after reuse, want 1", got)
+	}
+	if cg3, _ := c.GraphsObserved(l, nil); cg3 != cg1 {
+		t.Fatal("nil-recorder lookup returned different graphs")
 	}
 }

@@ -80,7 +80,7 @@ func RecoverObserved(rec *obs.Recorder, state *model.State, log *Log, checkpoint
 	cSkipped := rec.CounterHandle(obs.MRedoSkipped)
 	cCheckpointed := rec.CounterHandle(obs.MRedoCheckpointed)
 	cReplayed := rec.CounterHandle(obs.MReplayRecords)
-	span := rec.StartSpan(obs.PhaseRecover)
+	span := rec.StartRootSpan(obs.PhaseRecover, "sequential recovery")
 	var analysisTotal, replayTotal time.Duration
 	var analysis Analysis
 	for _, r := range log.Records() {

@@ -40,7 +40,7 @@ func RecoverDense(state *model.State, log *Log, checkpoint graph.Set[model.OpID]
 // cannot tell the representations apart. A nil recorder makes it
 // exactly RecoverDense.
 func RecoverDenseObserved(rec *obs.Recorder, state *model.State, log *Log, checkpoint graph.Set[model.OpID], redo RedoTest, analyze AnalyzeFunc) (*Result, error) {
-	lv := DefaultViews.ViewOf(log)
+	lv := DefaultViews.ViewOfObserved(log, rec)
 	ds := dense.FromState(lv.In, state)
 	scratch := dense.GetScratch()
 	defer dense.PutScratch(scratch)
@@ -70,14 +70,23 @@ func RecoverDenseObserved(rec *obs.Recorder, state *model.State, log *Log, check
 	cSkipped := rec.CounterHandle(obs.MRedoSkipped)
 	cCheckpointed := rec.CounterHandle(obs.MRedoCheckpointed)
 	cReplayed := rec.CounterHandle(obs.MReplayRecords)
-	span := rec.StartSpan(obs.PhaseRecover)
+	// Root span: a top-level sequential recovery begins its own trace;
+	// one nested inside a supervised attempt joins the attempt's tree.
+	span := rec.StartRootSpan(obs.PhaseRecover, "sequential dense recovery")
 	var analysisTotal, replayTotal time.Duration
 	var analysis Analysis
+	// Per-record micro events (verdicts plus the id-less analysis/replay
+	// span pairs) are batched into one EmitBatch per record: the
+	// emission lock and clock are paid once per record, which is what
+	// keeps full tracing inside the redobench overhead tolerance.
+	var evbuf [5]obs.Event
 	for i, r := range log.Records() {
+		sinking := rec.Sinking()
+		ev := evbuf[:0]
 		if checkpoint.Has(r.Op.ID()) {
 			res.Installed.Add(r.Op.ID())
 			cCheckpointed.Add(1)
-			if rec.Sinking() {
+			if sinking {
 				rec.Emit(obs.Event{Type: obs.EvSkip, LSN: int64(r.LSN), Op: r.Op.String(), Verdict: "checkpointed"})
 			}
 			continue
@@ -87,26 +96,28 @@ func RecoverDenseObserved(rec *obs.Recorder, state *model.State, log *Log, check
 		if analyze != nil {
 			var t0 time.Time
 			if obsOn {
-				rec.Emit(obs.Event{Type: obs.EvSpanBegin, Phase: obs.PhaseAnalysis})
 				t0 = time.Now()
 			}
 			analysis = analyze(state, log, unrecoveredAfter(log, checkpoint, r.LSN), analysis)
 			if obsOn {
 				d := time.Since(t0)
 				analysisTotal += d
-				rec.Emit(obs.Event{Type: obs.EvSpanEnd, Phase: obs.PhaseAnalysis, Dur: d})
+				if sinking {
+					ev = append(ev,
+						obs.Event{Type: obs.EvSpanBegin, Phase: obs.PhaseAnalysis},
+						obs.Event{Type: obs.EvSpanEnd, Phase: obs.PhaseAnalysis, Dur: d})
+				}
 			}
 		}
 		if redo(r.Op, state, log, analysis) {
 			res.RedoSet.Add(r.Op.ID())
 			res.Replayed = append(res.Replayed, r.Op.ID())
 			cAdmitted.Add(1)
-			if rec.Sinking() {
-				rec.Emit(obs.Event{Type: obs.EvAdmit, LSN: int64(r.LSN), Op: r.Op.String(), Verdict: "admit"})
+			if sinking {
+				ev = append(ev, obs.Event{Type: obs.EvAdmit, LSN: int64(r.LSN), Op: r.Op.String(), Verdict: "admit"})
 			}
 			var t0 time.Time
 			if obsOn {
-				rec.Emit(obs.Event{Type: obs.EvSpanBegin, Phase: obs.PhaseReplay})
 				t0 = time.Now()
 			}
 			v := &lv.Views[i]
@@ -119,7 +130,11 @@ func RecoverDenseObserved(rec *obs.Recorder, state *model.State, log *Log, check
 			if obsOn {
 				d := time.Since(t0)
 				replayTotal += d
-				rec.Emit(obs.Event{Type: obs.EvSpanEnd, Phase: obs.PhaseReplay, Dur: d})
+				if sinking {
+					ev = append(ev,
+						obs.Event{Type: obs.EvSpanBegin, Phase: obs.PhaseReplay},
+						obs.Event{Type: obs.EvSpanEnd, Phase: obs.PhaseReplay, Dur: d})
+				}
 			}
 			if err != nil {
 				span.End()
@@ -137,9 +152,12 @@ func RecoverDenseObserved(rec *obs.Recorder, state *model.State, log *Log, check
 		} else {
 			res.Installed.Add(r.Op.ID())
 			cSkipped.Add(1)
-			if rec.Sinking() {
-				rec.Emit(obs.Event{Type: obs.EvSkip, LSN: int64(r.LSN), Op: r.Op.String(), Verdict: "redo-test-false"})
+			if sinking {
+				ev = append(ev, obs.Event{Type: obs.EvSkip, LSN: int64(r.LSN), Op: r.Op.String(), Verdict: "redo-test-false"})
 			}
+		}
+		if len(ev) > 0 {
+			rec.EmitBatch(ev)
 		}
 	}
 	// Write-back: install the replayed variables into the map-backed

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"redotheory/internal/dense"
+	"redotheory/internal/obs"
 )
 
 // RecordView is the flat, interned projection of one log record: the
@@ -95,12 +96,32 @@ var DefaultViews = NewViewCache(128)
 // sequence, building and caching it on first sight. Callers must
 // treat the view as immutable.
 func (c *ViewCache) ViewOf(log *Log) *LogView {
+	lv, _ := c.viewOf(log)
+	return lv
+}
+
+// ViewOfObserved is ViewOf plus cache-effectiveness telemetry: it
+// counts the lookup as a hit or miss on the recorder (MViewHits /
+// MViewMisses), so campaign reports can show how often the dense
+// projection was reused versus rebuilt.
+func (c *ViewCache) ViewOfObserved(log *Log, rec *obs.Recorder) *LogView {
+	lv, hit := c.viewOf(log)
+	if hit {
+		rec.Inc(obs.MViewHits)
+	} else {
+		rec.Inc(obs.MViewMisses)
+	}
+	return lv
+}
+
+// viewOf reports whether the lookup hit alongside the view.
+func (c *ViewCache) viewOf(log *Log) (*LogView, bool) {
 	key := keyOf(log)
 	c.mu.Lock()
 	if lv, ok := c.entries[key]; ok {
 		c.Hits++
 		c.mu.Unlock()
-		return lv
+		return lv, true
 	}
 	c.Misses++
 	c.mu.Unlock()
@@ -112,7 +133,7 @@ func (c *ViewCache) ViewOf(log *Log) *LogView {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e, ok := c.entries[key]; ok {
-		return e
+		return e, false
 	}
 	for len(c.fifo) >= c.cap {
 		evict := c.fifo[0]
@@ -121,7 +142,7 @@ func (c *ViewCache) ViewOf(log *Log) *LogView {
 	}
 	c.entries[key] = lv
 	c.fifo = append(c.fifo, key)
-	return lv
+	return lv, false
 }
 
 // Len returns the number of cached prefixes.

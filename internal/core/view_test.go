@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"redotheory/internal/model"
+	"redotheory/internal/obs"
 )
 
 // viewFixtureLog builds a small log mixing blind writes, read-modify-
@@ -125,5 +126,30 @@ func TestRecordSizeBytes(t *testing.T) {
 	clamped.SetSizeBytes(-5)
 	if got := clamped.SizeBytes(); got != 0 {
 		t.Errorf("negative size: SizeBytes = %d, want clamped 0", got)
+	}
+}
+
+// TestViewCacheCountersOnRecorder: the observed lookup surfaces cache
+// effectiveness on the recorder — one miss on first sight of a prefix,
+// hits on every reuse — under the keys redostats renders.
+func TestViewCacheCountersOnRecorder(t *testing.T) {
+	l := viewFixtureLog()
+	c := NewViewCache(4)
+	rec := obs.New()
+	first := c.ViewOfObserved(l, rec)
+	if got := rec.CounterValue(obs.MViewMisses); got != 1 {
+		t.Fatalf("view misses = %d after first lookup, want 1", got)
+	}
+	for i := 0; i < 3; i++ {
+		if c.ViewOfObserved(l, rec) != first {
+			t.Fatal("cache returned a different view for the same prefix")
+		}
+	}
+	if got := rec.CounterValue(obs.MViewHits); got != 3 {
+		t.Fatalf("view hits = %d after three reuses, want 3", got)
+	}
+	// A nil recorder is the disabled path: no panic, same view.
+	if c.ViewOfObserved(l, nil) != first {
+		t.Fatal("nil-recorder lookup returned a different view")
 	}
 }

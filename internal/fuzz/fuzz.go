@@ -305,13 +305,22 @@ grid:
 func (c *Config) fail(m sim.NamedFactory, cell Cell, dis *disagreement) *Failure {
 	f := &Failure{Cell: cell, Check: dis.check, Detail: dis.detail}
 	art := cell
+	flight := dis.flight
 	if c.Shrink {
 		if min := Shrink(m, cell, c.failCheck); min != nil {
 			f.Minimized = min
 			art = *min
+			// The artifact's flight dump must describe the cell the
+			// artifact reproduces: re-run the minimized cell once to
+			// capture its telemetry (falling back to the original cell's
+			// dump if the re-run surprises us).
+			if mdis, _, err := checkCell(m, *min, nil, c.failCheck); err == nil && mdis != nil && mdis.flight != nil {
+				flight = mdis.flight
+			}
 		}
 	}
 	f.Artifact = NewArtifact(art, dis.check, dis.detail)
+	f.Artifact.Flight = flight
 	return f
 }
 

@@ -149,3 +149,88 @@ func TestExecuteHonorsLiteralZeroProbabilities(t *testing.T) {
 		t.Fatalf("quiet schedule left %d stable records", n)
 	}
 }
+
+// TestInjectedBugArtifactCarriesFlightDump: a planted oracle bug must
+// produce a repro artifact whose flight dump is non-empty and valid —
+// the telemetry ring leading into the disagreement ships with the
+// repro. With shrinking on, the dump is re-captured against the
+// minimized cell.
+func TestInjectedBugArtifactCarriesFlightDump(t *testing.T) {
+	bug := func(ops []*model.Op, crash int) string {
+		if crash > 0 {
+			return "synthetic disagreement at any non-trivial crash point"
+		}
+		return ""
+	}
+	for _, shrink := range []bool{false, true} {
+		rep, err := Run(Config{Seeds: 1, Histories: 1, MaxOps: 8, Shrink: shrink, failCheck: bug})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Failures) == 0 {
+			t.Fatalf("shrink=%v: planted bug produced no failures", shrink)
+		}
+		for _, f := range rep.Failures {
+			if f.Artifact == nil {
+				t.Fatalf("shrink=%v: failure carries no artifact", shrink)
+			}
+			fl := f.Artifact.Flight
+			if fl == nil {
+				t.Fatalf("shrink=%v: artifact carries no flight dump", shrink)
+			}
+			if err := fl.Validate(); err != nil {
+				t.Fatalf("shrink=%v: %v", shrink, err)
+			}
+			if len(fl.Events) == 0 {
+				t.Fatalf("shrink=%v: flight dump is empty", shrink)
+			}
+			// The artifact round-trips with the dump attached.
+			data, err := f.Artifact.Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := DecodeArtifact(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if back.Flight == nil || len(back.Flight.Events) != len(fl.Events) {
+				t.Fatalf("shrink=%v: flight dump lost in round trip", shrink)
+			}
+		}
+	}
+}
+
+// TestSupervisedLegPreservesCrashSnapshots: the oracle threads the
+// flight ring into its supervised leg, so every nested crash the
+// schedule injects leaves a labeled snapshot in the ring — even when
+// the leg then converges (the leg's attempt budget always exceeds the
+// schedule, so convergence is the only terminal outcome here).
+func TestSupervisedLegPreservesCrashSnapshots(t *testing.T) {
+	// No page flushes and a forced log: every stable op needs redo, so
+	// the supervised attempts have installs for the schedule to crash.
+	cell := mkCell(t, "physiological", 8, 8, Schedule{Seed: 3, ForceProb: 1})
+	cell.NestedCrash = []int{0, 1}
+	rec := obs.New()
+	flight := obs.NewFlightRecorder(512)
+	rec.SetSink(flight)
+	dis, _, err := checkCellRun(namedFor(t, "physiological"), cell, rec, flight, nil)
+	rec.SetSink(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dis != nil {
+		t.Fatalf("clean cell disagreed: %s: %s", dis.check, dis.detail)
+	}
+	d := flight.Dump()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(d.Snapshots); got != len(cell.NestedCrash) {
+		t.Fatalf("%d crash snapshots preserved, want one per nested crash (%d)", got, len(cell.NestedCrash))
+	}
+	for i, s := range d.Snapshots {
+		if s.Label == "" || len(s.Events) == 0 {
+			t.Fatalf("snapshot %d is unlabeled or empty", i)
+		}
+	}
+}

@@ -16,6 +16,11 @@ import (
 type disagreement struct {
 	check  string
 	detail string
+	// flight is the flight-recorder dump captured around the failing
+	// cell — the events leading into the disagreement, plus any crash
+	// snapshots the supervised leg preserved. Attached to the repro
+	// artifact by Config.fail.
+	flight *obs.FlightDump
 }
 
 // coverage carries the per-cell coverage observations.
@@ -52,7 +57,38 @@ type coverage struct {
 //
 // A non-nil disagreement identifies the first leg that dissented. The
 // error return is reserved for harness breakage.
+//
+// Every cell runs under a flight recorder: a bounded event ring
+// attached as the recorder's sink for the cell's duration (created
+// along with a throwaway recorder when the caller passed none). On a
+// disagreement the ring is dumped into the result, so repro artifacts
+// carry the telemetry leading into the failure — including the crash
+// snapshots the supervised leg preserved. A recorder that is already
+// sinking keeps its own stream and no flight is captured.
 func checkCell(m sim.NamedFactory, cell Cell, rec *obs.Recorder, failCheck func(ops []*model.Op, crash int) string) (*disagreement, *coverage, error) {
+	if rec == nil {
+		rec = obs.New()
+	}
+	var flight *obs.FlightRecorder
+	if !rec.Sinking() {
+		flight = obs.NewFlightRecorder(512)
+		rec.SetSink(flight)
+		defer rec.SetSink(nil)
+	}
+	dis, cov, err := checkCellRun(m, cell, rec, flight, failCheck)
+	if dis != nil && flight != nil {
+		// Stamp the verdict into the ring before dumping, so even a
+		// disagreement raised ahead of any instrumented activity leaves a
+		// non-empty flight dump naming the failed check.
+		rec.Emit(obs.Event{Type: obs.EvDetection, Detail: dis.check + ": " + dis.detail})
+		dis.flight = flight.Dump()
+	}
+	return dis, cov, err
+}
+
+// checkCellRun is checkCell's body, with the flight ring threaded into
+// the supervised leg so nested-crash snapshots are preserved.
+func checkCellRun(m sim.NamedFactory, cell Cell, rec *obs.Recorder, flight *obs.FlightRecorder, failCheck func(ops []*model.Op, crash int) string) (*disagreement, *coverage, error) {
 	db, err := execute(m.New, cell, rec)
 	if err != nil {
 		return nil, nil, err
@@ -77,7 +113,7 @@ func checkCell(m sim.NamedFactory, cell Cell, rec *obs.Recorder, failCheck func(
 	}
 
 	// Legs 2 and 3: explainability and the determined state.
-	checker, err := core.NewChecker(stableLog, base)
+	checker, err := core.NewCheckerObserved(stableLog, base, rec)
 	if err != nil {
 		return nil, nil, fmt.Errorf("fuzz: building checker: %w", err)
 	}
@@ -146,6 +182,7 @@ func checkCell(m sim.NamedFactory, cell Cell, rec *obs.Recorder, failCheck func(
 		Seed:          cell.Schedule.Seed,
 		Crashes:       supervise.CrashPlan{Points: cell.NestedCrash},
 		Recorder:      rec,
+		Flight:        flight,
 		Sleep:         func(time.Duration) {},
 	})
 	switch {

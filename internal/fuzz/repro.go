@@ -6,6 +6,7 @@ import (
 	"os"
 
 	"redotheory/internal/model"
+	"redotheory/internal/obs"
 	"redotheory/internal/sim"
 )
 
@@ -54,6 +55,11 @@ type Artifact struct {
 	// Check and Detail record the disagreement the artifact reproduces.
 	Check  string `json:"check,omitempty"`
 	Detail string `json:"detail,omitempty"`
+	// Flight is the flight-recorder dump captured while the cell failed:
+	// the bounded telemetry ring leading into the disagreement, plus any
+	// crash snapshots the supervised leg preserved. Optional, so v2
+	// artifacts without it stay valid.
+	Flight *obs.FlightDump `json:"flight,omitempty"`
 }
 
 // NewArtifact serializes a cell into an artifact.
@@ -109,6 +115,11 @@ func (a *Artifact) Validate() error {
 		}
 		if op.ID <= 0 {
 			return fmt.Errorf("fuzz: artifact op %d (%q) has non-positive id %d", i, op.Name, op.ID)
+		}
+	}
+	if a.Flight != nil {
+		if err := a.Flight.Validate(); err != nil {
+			return fmt.Errorf("fuzz: artifact flight dump: %w", err)
 		}
 	}
 	return nil

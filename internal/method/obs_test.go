@@ -67,9 +67,11 @@ func TestRecoverParallelObservedCounters(t *testing.T) {
 }
 
 // TestRecoverParallelSpanNesting: the event stream's phase spans must
-// nest like a call stack — decide (with its per-record analysis spans)
-// closes before partition opens, partition before replay, replay before
-// merge.
+// form a well-nested causal tree — a root recover span opening a fresh
+// trace, decide (with its per-record analysis spans) closing before
+// partition opens, partition before replay, replay before merge, and
+// every component span parented under the replay span with worker and
+// size attribution.
 func TestRecoverParallelSpanNesting(t *testing.T) {
 	pages := workload.Pages(4)
 	ops := workload.SinglePage(20, pages, 3, false)
@@ -86,23 +88,55 @@ func TestRecoverParallelSpanNesting(t *testing.T) {
 	if err := obs.CheckSpanNesting(events); err != nil {
 		t.Fatalf("span nesting: %v", err)
 	}
-	order := make([]obs.Phase, 0, 4)
+	if len(events) == 0 || events[0].Type != obs.EvTraceBegin {
+		t.Fatalf("stream does not open with a trace-begin event")
+	}
+	// Coordinator phases in pipeline order; component spans are emitted
+	// by concurrent workers, so only their parentage is deterministic.
+	order := make([]obs.Phase, 0, 5)
+	var rootID, replayID uint64
+	components := 0
 	for _, e := range events {
 		if e.Type != obs.EvSpanBegin {
 			continue
 		}
-		if e.Phase == obs.PhaseAnalysis {
-			continue
+		switch e.Phase {
+		case obs.PhaseAnalysis:
+		case obs.PhaseComponent:
+			components++
+			if e.Parent == 0 || e.Parent != replayID {
+				t.Errorf("component span %d parented under %d, want replay span %d", e.Span, e.Parent, replayID)
+			}
+			if e.Worker < 1 || e.Size < 1 || e.Comp == "" {
+				t.Errorf("component span missing attribution: %s", e)
+			}
+		default:
+			order = append(order, e.Phase)
+			switch e.Phase {
+			case obs.PhaseRecover:
+				rootID = e.Span
+			case obs.PhaseReplay:
+				replayID = e.Span
+				if e.Parent != rootID {
+					t.Errorf("replay span parented under %d, want root %d", e.Parent, rootID)
+				}
+			default:
+				if e.Parent != rootID {
+					t.Errorf("%s span parented under %d, want root %d", e.Phase, e.Parent, rootID)
+				}
+			}
 		}
-		order = append(order, e.Phase)
 	}
-	want := []obs.Phase{obs.PhaseDecide, obs.PhasePartition, obs.PhaseReplay, obs.PhaseMerge}
+	if components == 0 {
+		t.Errorf("no component spans emitted")
+	}
+	want := []obs.Phase{obs.PhaseRecover, obs.PhaseDecide, obs.PhasePartition, obs.PhaseReplay, obs.PhaseMerge}
 	if len(order) != len(want) {
-		t.Fatalf("top-level span order %v, want %v", order, want)
+		t.Fatalf("coordinator span order %v, want %v", order, want)
 	}
 	for i := range want {
 		if order[i] != want[i] {
-			t.Fatalf("top-level span order %v, want %v", order, want)
+			t.Fatalf("coordinator span order %v, want %v", order, want)
 		}
 	}
 }

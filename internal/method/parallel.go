@@ -95,8 +95,13 @@ func RecoverParallel(db DB, opts ParallelOptions) (*ParallelResult, error) {
 // recoverPartitioned is the engine: decide, partition, replay — all on
 // the dense representation past the decision phase.
 func recoverPartitioned(rec *obs.Recorder, state *model.State, log *core.Log, checkpoint graph.Set[model.OpID], redo core.RedoTest, analyze core.AnalyzeFunc, workers int) (*core.Result, partition.Stats, error) {
+	// Root span: a top-level parallel recovery begins its own trace; the
+	// decide/partition/replay/merge spans nest under it, and each replay
+	// worker's component spans nest under replay.
+	root := rec.StartRootSpan(obs.PhaseRecover, "parallel recovery")
+	defer root.End()
 	decision := core.DecideRedoObserved(rec, state, log, checkpoint, redo, analyze)
-	lv := core.DefaultViews.ViewOf(log)
+	lv := core.DefaultViews.ViewOfObserved(log, rec)
 
 	ps := rec.StartSpan(obs.PhasePartition)
 	plan := partition.FromViews(lv.Views, decision.ReplayIdx, lv.In.Len())
@@ -170,26 +175,43 @@ func replayPlan(rec *obs.Recorder, state *model.State, lv *core.LogView, plan *p
 	workers = poolSize(workers, len(plan.Components))
 
 	rs := rec.StartSpan(obs.PhaseReplay)
+	// Workers parent their component spans under the replay span by
+	// explicit id — the ambient stack belongs to the coordinator, which
+	// keeps replay open (and on top) for the whole pool run.
+	replayID := rs.SpanID()
 	ds := dense.FromState(lv.In, state)
 	work := make(chan int)
 	errs := make(chan replayError, len(plan.Components))
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			scratch := dense.GetScratch()
 			defer dense.PutScratch(scratch)
 			for ci := range work {
 				c := plan.Components[ci]
-				if err := replayComponent(ds, lv, c, scratch.Reads); err.err != nil {
+				// One span per interference component, annotated with its
+				// size and write width so stragglers are attributable.
+				var cs *obs.Span
+				if rec.Sinking() {
+					cs = rec.StartSpanWith(obs.PhaseComponent, replayID, obs.SpanInfo{
+						Comp:   fmt.Sprintf("c%d", ci),
+						Worker: worker,
+						Size:   len(c.Idx),
+						Writes: len(c.Writes),
+					})
+				}
+				err := replayComponent(ds, lv, c, scratch.Reads)
+				cs.End()
+				if err.err != nil {
 					errs <- err
 					continue
 				}
 				rec.Inc(obs.MReplayComponents)
 				rec.Add(obs.MReplayRecords, int64(len(c.Idx)))
 			}
-		}()
+		}(w + 1)
 	}
 	for ci := range plan.Components {
 		work <- ci

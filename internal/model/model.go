@@ -70,8 +70,9 @@ type ApplyFunc func(ReadSet) WriteSet
 type Op struct {
 	id     OpID
 	name   string
-	reads  []Var // sorted, deduplicated
-	writes []Var // sorted, deduplicated
+	str    string // rendered label, precomputed: ops are immutable and the event stream renders every admitted record
+	reads  []Var  // sorted, deduplicated
+	writes []Var  // sorted, deduplicated
 	apply  ApplyFunc
 }
 
@@ -88,6 +89,7 @@ func NewOp(id OpID, name string, reads, writes []Var, fn ApplyFunc) *Op {
 	return &Op{
 		id:     id,
 		name:   name,
+		str:    fmt.Sprintf("%s#%d", name, id),
 		reads:  normVars(reads),
 		writes: normVars(writes),
 		apply:  fn,
@@ -171,4 +173,4 @@ func (o *Op) ComputeFrom(reads ReadSet) (WriteSet, error) {
 }
 
 // String formats the operation as "name#id".
-func (o *Op) String() string { return fmt.Sprintf("%s#%d", o.name, o.id) }
+func (o *Op) String() string { return o.str }

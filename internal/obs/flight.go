@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+)
+
+// FlightSchemaV1 identifies the flight-recorder dump format.
+const FlightSchemaV1 = "redotheory/flight/v1"
+
+const (
+	// defaultFlightCapacity bounds the ring when NewFlightRecorder is
+	// given a non-positive capacity.
+	defaultFlightCapacity = 256
+	// maxFlightSnapshots bounds how many preserved crash snapshots a
+	// recorder keeps; older ones are dropped first, because the most
+	// recent attempts are the ones a post-mortem needs.
+	maxFlightSnapshots = 8
+	// flightSnapshotTail bounds each preserved snapshot to the tail of
+	// the ring at preservation time.
+	flightSnapshotTail = 64
+)
+
+// FlightRecorder is a bounded ring-buffer event sink that survives
+// nested crashes: it keeps the last N events of the stream, and the
+// supervisor calls Preserve at each crash point to freeze the tail of
+// the ring into a labeled snapshot before the next attempt overwrites
+// it. On terminal failure Dump packages the snapshots plus the final
+// ring into a redotheory/flight/v1 artifact.
+//
+// Memory is bounded by construction — capacity ring slots plus at most
+// maxFlightSnapshots×flightSnapshotTail snapshot events — so the
+// recorder is safe to leave attached for the whole life of a campaign.
+type FlightRecorder struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int
+	full  bool
+	total uint64
+	snaps []FlightSnapshot
+	// dropped counts snapshots discarded to stay under maxFlightSnapshots.
+	droppedSnaps int
+}
+
+// FlightSnapshot is the tail of the ring frozen at one crash point.
+type FlightSnapshot struct {
+	Label  string  `json:"label"`
+	Events []Event `json:"events"`
+}
+
+// FlightDump is the terminal-failure artifact: everything the flight
+// recorder still holds, ready for JSON export or attachment to a fuzz
+// repro artifact.
+type FlightDump struct {
+	Schema string `json:"schema"`
+	// Capacity is the ring size; Total counts every event ever seen, so
+	// Total − len(Events) is how many the ring dropped.
+	Capacity int    `json:"capacity"`
+	Total    uint64 `json:"total_events"`
+	// DroppedSnapshots counts crash snapshots aged out of the bound.
+	DroppedSnapshots int              `json:"dropped_snapshots,omitempty"`
+	Snapshots        []FlightSnapshot `json:"snapshots,omitempty"`
+	// Events is the final ring contents in emission order.
+	Events []Event `json:"events"`
+}
+
+// NewFlightRecorder returns a flight recorder holding the last capacity
+// events (defaultFlightCapacity when capacity <= 0).
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = defaultFlightCapacity
+	}
+	return &FlightRecorder{buf: make([]Event, capacity)}
+}
+
+// Emit stores the event in the ring, overwriting the oldest when full.
+func (f *FlightRecorder) Emit(e Event) {
+	f.mu.Lock()
+	f.buf[f.next] = e
+	f.next++
+	if f.next == len(f.buf) {
+		f.next = 0
+		f.full = true
+	}
+	f.total++
+	f.mu.Unlock()
+}
+
+// ring returns the ring contents in emission order. Caller holds f.mu.
+func (f *FlightRecorder) ring() []Event {
+	if !f.full {
+		return append([]Event(nil), f.buf[:f.next]...)
+	}
+	out := make([]Event, 0, len(f.buf))
+	out = append(out, f.buf[f.next:]...)
+	out = append(out, f.buf[:f.next]...)
+	return out
+}
+
+// Events returns a copy of the ring contents in emission order.
+func (f *FlightRecorder) Events() []Event {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ring()
+}
+
+// Len reports how many events the ring currently holds.
+func (f *FlightRecorder) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.full {
+		return len(f.buf)
+	}
+	return f.next
+}
+
+// Preserve freezes the tail of the ring into a labeled snapshot — the
+// supervisor calls it at each nested crash so the events leading into
+// the crash outlive the next attempt's traffic. Snapshots beyond the
+// bound age out oldest-first.
+func (f *FlightRecorder) Preserve(label string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	events := f.ring()
+	if len(events) > flightSnapshotTail {
+		events = append([]Event(nil), events[len(events)-flightSnapshotTail:]...)
+	}
+	f.snaps = append(f.snaps, FlightSnapshot{Label: label, Events: events})
+	if len(f.snaps) > maxFlightSnapshots {
+		drop := len(f.snaps) - maxFlightSnapshots
+		f.snaps = append([]FlightSnapshot(nil), f.snaps[drop:]...)
+		f.droppedSnaps += drop
+	}
+}
+
+// Dump packages the preserved snapshots and the final ring into a
+// flight/v1 artifact. The recorder keeps recording afterwards.
+func (f *FlightRecorder) Dump() *FlightDump {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	d := &FlightDump{
+		Schema:           FlightSchemaV1,
+		Capacity:         len(f.buf),
+		Total:            f.total,
+		DroppedSnapshots: f.droppedSnaps,
+		Events:           f.ring(),
+	}
+	if len(f.snaps) > 0 {
+		d.Snapshots = make([]FlightSnapshot, len(f.snaps))
+		for i, s := range f.snaps {
+			d.Snapshots[i] = FlightSnapshot{Label: s.Label, Events: append([]Event(nil), s.Events...)}
+		}
+	}
+	return d
+}
+
+// Validate checks the dump's internal consistency: the schema tag, the
+// capacity bound, and that every event slice is ordered by Seq (events
+// within one slice came from one recorder stream).
+func (d *FlightDump) Validate() error {
+	if d == nil {
+		return fmt.Errorf("obs: nil flight dump")
+	}
+	if d.Schema != FlightSchemaV1 {
+		return fmt.Errorf("obs: flight dump schema %q, want %q", d.Schema, FlightSchemaV1)
+	}
+	if d.Capacity <= 0 {
+		return fmt.Errorf("obs: flight dump capacity %d", d.Capacity)
+	}
+	if len(d.Events) > d.Capacity {
+		return fmt.Errorf("obs: flight dump holds %d events over capacity %d", len(d.Events), d.Capacity)
+	}
+	if uint64(len(d.Events)) > d.Total {
+		return fmt.Errorf("obs: flight dump holds %d events but claims only %d were seen", len(d.Events), d.Total)
+	}
+	if err := seqOrdered("ring", d.Events); err != nil {
+		return err
+	}
+	for _, s := range d.Snapshots {
+		if err := seqOrdered("snapshot "+s.Label, s.Events); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// seqOrdered checks strictly-increasing sequence numbers.
+func seqOrdered(what string, events []Event) error {
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq <= events[i-1].Seq {
+			return fmt.Errorf("obs: flight dump %s: seq %d follows %d", what, events[i].Seq, events[i-1].Seq)
+		}
+	}
+	return nil
+}

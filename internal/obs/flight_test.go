@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestFlightRingWraparound(t *testing.T) {
+	f := NewFlightRecorder(4)
+	for i := 1; i <= 10; i++ {
+		f.Emit(Event{Seq: uint64(i), Type: EvAdmit})
+	}
+	if f.Len() != 4 {
+		t.Fatalf("ring holds %d events, want 4", f.Len())
+	}
+	events := f.Events()
+	for i, e := range events {
+		if want := uint64(7 + i); e.Seq != want {
+			t.Fatalf("ring[%d].Seq = %d, want %d (last 4 of 10)", i, e.Seq, want)
+		}
+	}
+	d := f.Dump()
+	if d.Total != 10 || d.Capacity != 4 || len(d.Events) != 4 {
+		t.Fatalf("dump total=%d capacity=%d events=%d, want 10/4/4", d.Total, d.Capacity, len(d.Events))
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlightDefaultCapacity(t *testing.T) {
+	f := NewFlightRecorder(0)
+	if got := f.Dump().Capacity; got != defaultFlightCapacity {
+		t.Fatalf("capacity = %d, want default %d", got, defaultFlightCapacity)
+	}
+}
+
+func TestFlightPreserveBounds(t *testing.T) {
+	f := NewFlightRecorder(256)
+	seq := uint64(0)
+	emit := func(n int) {
+		for i := 0; i < n; i++ {
+			seq++
+			f.Emit(Event{Seq: seq, Type: EvCacheFlush})
+		}
+	}
+
+	// Each snapshot keeps at most flightSnapshotTail events.
+	emit(flightSnapshotTail + 40)
+	f.Preserve("big")
+	d := f.Dump()
+	if n := len(d.Snapshots[0].Events); n != flightSnapshotTail {
+		t.Fatalf("snapshot holds %d events, want the %d-event tail", n, flightSnapshotTail)
+	}
+	if last := d.Snapshots[0].Events[flightSnapshotTail-1].Seq; last != seq {
+		t.Fatalf("snapshot tail ends at seq %d, want %d", last, seq)
+	}
+
+	// Snapshots beyond the bound age out oldest-first, counted.
+	for i := 0; i < maxFlightSnapshots+3; i++ {
+		emit(1)
+		f.Preserve(fmt.Sprintf("crash %d", i))
+	}
+	d = f.Dump()
+	if len(d.Snapshots) != maxFlightSnapshots {
+		t.Fatalf("%d snapshots survive, want the %d bound", len(d.Snapshots), maxFlightSnapshots)
+	}
+	if d.DroppedSnapshots != 4 { // "big" plus the first three crash snapshots
+		t.Fatalf("dropped %d snapshots, want 4", d.DroppedSnapshots)
+	}
+	if d.Snapshots[0].Label != "crash 3" {
+		t.Fatalf("oldest surviving snapshot is %q, want %q", d.Snapshots[0].Label, "crash 3")
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlightDumpValidateRejectsCorruption(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*FlightDump)
+	}{
+		{"schema", func(d *FlightDump) { d.Schema = "bogus/v9" }},
+		{"capacity", func(d *FlightDump) { d.Capacity = 0 }},
+		{"over-capacity", func(d *FlightDump) { d.Capacity = 1 }},
+		{"total", func(d *FlightDump) { d.Total = 1 }},
+		{"ring-order", func(d *FlightDump) { d.Events[0].Seq = 99 }},
+		{"snapshot-order", func(d *FlightDump) { d.Snapshots[0].Events[0].Seq = 99 }},
+	}
+	for _, tc := range cases {
+		f := NewFlightRecorder(8)
+		for i := 1; i <= 3; i++ {
+			f.Emit(Event{Seq: uint64(i)})
+		}
+		f.Preserve("crash")
+		d := f.Dump()
+		if err := d.Validate(); err != nil {
+			t.Fatalf("%s: baseline dump invalid: %v", tc.name, err)
+		}
+		tc.mut(d)
+		if err := d.Validate(); err == nil {
+			t.Fatalf("%s: corruption not detected", tc.name)
+		}
+	}
+	var nilDump *FlightDump
+	if err := nilDump.Validate(); err == nil {
+		t.Fatal("nil dump validated")
+	}
+}
+
+func TestFlightAsRecorderSink(t *testing.T) {
+	r := New()
+	f := NewFlightRecorder(8)
+	r.SetSink(f)
+	sp := r.StartSpan(PhaseDecide)
+	r.Emit(Event{Type: EvAdmit, LSN: 1})
+	sp.End()
+	r.SetSink(nil)
+	events := f.Events()
+	if len(events) != 3 {
+		t.Fatalf("ring holds %d events, want 3", len(events))
+	}
+	if err := f.Dump().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -33,6 +33,7 @@
 package obs
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -62,6 +63,19 @@ const (
 	// PhaseRecover is the umbrella span around a whole sequential
 	// recovery (its scan/analysis/replay children nest inside it).
 	PhaseRecover Phase = "recover"
+	// PhaseComponent is one interference component replayed by a worker
+	// of the parallel engine — the unit straggler analysis attributes
+	// replay time to. Its begin event carries Comp/Worker/Size/WriteN.
+	PhaseComponent Phase = "component"
+	// PhaseSupervise is the umbrella span around a whole supervised
+	// recovery (attempts and their nested engine spans inside it).
+	PhaseSupervise Phase = "supervise"
+	// PhaseAttempt is one supervised-recovery attempt (Comp carries
+	// "attempt<n>/<rung>").
+	PhaseAttempt Phase = "attempt"
+	// PhaseInstall is one fuzzy-checkpointed install batch inside an
+	// installing attempt.
+	PhaseInstall Phase = "install"
 )
 
 // Metric names recorded by the instrumented packages. Durations land
@@ -101,6 +115,12 @@ const (
 	MWALAppends    = "wal.appends"    // log records appended
 	MWALBytes      = "wal.bytes"      // simulated log bytes appended
 	MWALForces     = "wal.forces"     // log forces that did work
+
+	// Shared-cache effectiveness counters (core.ViewCache/GraphCache).
+	MViewHits    = "cache.view_hits"    // log-view cache hits
+	MViewMisses  = "cache.view_misses"  // log-view cache builds
+	MGraphHits   = "cache.graph_hits"   // conflict/install graph cache hits
+	MGraphMisses = "cache.graph_misses" // conflict/install graph builds
 )
 
 // Recorder collects metrics and (optionally) emits events. The zero
@@ -121,13 +141,32 @@ type Recorder struct {
 	// attached, Emit is one atomic load, and callers can skip building
 	// event payloads entirely (Sinking).
 	hasSink atomic.Bool
+
+	// spanIDs allocates causal-span ids; traceIDs numbers the traces the
+	// recorder has begun. Both only advance while a sink is attached, so
+	// the metrics-only configuration never touches them.
+	spanIDs  atomic.Uint64
+	traceIDs atomic.Uint64
+	// spanMu guards ambient, the coordinator-side stack of open span ids
+	// that gives StartSpan its implicit parent. Worker spans use
+	// StartSpanWith with an explicit parent and never touch it.
+	spanMu  sync.Mutex
+	ambient []uint64
 }
+
+// epoch anchors Event.TS: all recorders stamp nanoseconds since this
+// process-wide instant, so timestamps from every recorder in a run are
+// directly comparable.
+var epoch = time.Now()
 
 // New returns an empty enabled recorder.
 func New() *Recorder { return &Recorder{} }
 
 // SetSink attaches the event sink. Call before instrumented work starts;
-// a nil sink disables events (metrics keep flowing).
+// a nil sink disables events (metrics keep flowing). Attaching a sink is
+// a trace boundary: the ambient span stack is reset, so span ids a
+// panicking recovery failed to close under a previous sink cannot leak
+// into the new stream's parentage.
 func (r *Recorder) SetSink(s Sink) {
 	if r == nil {
 		return
@@ -136,6 +175,9 @@ func (r *Recorder) SetSink(s Sink) {
 	r.sink = s
 	r.hasSink.Store(s != nil)
 	r.sinkMu.Unlock()
+	r.spanMu.Lock()
+	r.ambient = nil
+	r.spanMu.Unlock()
 }
 
 // Sinking reports whether an event sink is attached. Hot paths check it
@@ -243,7 +285,7 @@ func (r *Recorder) Observe(name string, v int64) {
 }
 
 // Emit sends an event to the attached sink, stamping its sequence
-// number. Without a sink it is a nil check.
+// number and trace timestamp. Without a sink it is a nil check.
 func (r *Recorder) Emit(e Event) {
 	if r == nil || !r.hasSink.Load() {
 		return
@@ -252,7 +294,37 @@ func (r *Recorder) Emit(e Event) {
 	if r.sink != nil {
 		r.seq++
 		e.Seq = r.seq
+		if e.TS == 0 {
+			e.TS = int64(time.Since(epoch))
+		}
 		r.sink.Emit(e)
+	}
+	r.sinkMu.Unlock()
+}
+
+// EmitBatch emits a slice of events under one acquisition of the
+// emission lock, assigning consecutive sequence numbers and one shared
+// timestamp (batch members with a preset TS keep it). The replay hot
+// loop batches each record's micro events — admit/skip verdicts and the
+// id-less per-record span pairs, whose timestamps no consumer reads —
+// so the per-event lock and clock cost the tracing overhead gate meters
+// is paid once per record instead of once per event. Events are
+// stamped in place; the caller may reuse the backing array afterwards.
+func (r *Recorder) EmitBatch(events []Event) {
+	if r == nil || len(events) == 0 || !r.hasSink.Load() {
+		return
+	}
+	r.sinkMu.Lock()
+	if r.sink != nil {
+		ts := int64(time.Since(epoch))
+		for i := range events {
+			r.seq++
+			events[i].Seq = r.seq
+			if events[i].TS == 0 {
+				events[i].TS = ts
+			}
+			r.sink.Emit(events[i])
+		}
 	}
 	r.sinkMu.Unlock()
 }
@@ -260,19 +332,100 @@ func (r *Recorder) Emit(e Event) {
 // Span is an in-flight phase measurement. A nil *Span (from a nil
 // recorder) ends harmlessly.
 type Span struct {
-	r     *Recorder
-	phase Phase
-	start time.Time
+	r       *Recorder
+	phase   Phase
+	start   time.Time
+	id      uint64
+	parent  uint64
+	ambient bool // id was pushed on the recorder's ambient stack
+}
+
+// SpanID returns the span's causal id (0 when the span was started
+// without a sink attached, or on a nil span).
+func (s *Span) SpanID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// SpanInfo carries the attribution attached to a span's begin event:
+// which component/attempt/batch it is, which worker ran it, and how big
+// it was. The zero value attaches nothing.
+type SpanInfo struct {
+	Comp   string // component/attempt/batch label ("c3", "attempt0/parallel", …)
+	Worker int    // 1-based replay worker, 0 for coordinator spans
+	Size   int    // records in the component / installs in the batch
+	Writes int    // distinct variables the component writes
 }
 
 // StartSpan begins a phase span: it emits the span-begin event and
-// starts the clock.
+// starts the clock. When a sink is attached the span gets a fresh id,
+// parents under the recorder's innermost ambient span, and becomes the
+// ambient parent for spans started before its End — callers on one
+// logical thread of control get a causal tree with no explicit
+// plumbing. Concurrent workers must use StartSpanWith instead.
 func (r *Recorder) StartSpan(p Phase) *Span {
+	return r.StartSpanInfo(p, SpanInfo{})
+}
+
+// StartSpanInfo is StartSpan with attribution on the begin event.
+func (r *Recorder) StartSpanInfo(p Phase, info SpanInfo) *Span {
 	if r == nil {
 		return nil
 	}
-	r.Emit(Event{Type: EvSpanBegin, Phase: p})
-	return &Span{r: r, phase: p, start: time.Now()}
+	s := &Span{r: r, phase: p}
+	if r.hasSink.Load() {
+		s.id = r.spanIDs.Add(1)
+		s.ambient = true
+		r.spanMu.Lock()
+		if n := len(r.ambient); n > 0 {
+			s.parent = r.ambient[n-1]
+		}
+		r.ambient = append(r.ambient, s.id)
+		r.spanMu.Unlock()
+		r.Emit(Event{Type: EvSpanBegin, Phase: p, Span: s.id, Parent: s.parent,
+			Comp: info.Comp, Worker: info.Worker, Size: info.Size, WriteN: info.Writes})
+	}
+	s.start = time.Now()
+	return s
+}
+
+// StartSpanWith begins a span under an explicit parent id, without
+// touching the recorder's ambient stack — the concurrency-safe form for
+// parallel replay workers, which all parent under the coordinator's
+// replay span while it stays open.
+func (r *Recorder) StartSpanWith(p Phase, parent uint64, info SpanInfo) *Span {
+	if r == nil {
+		return nil
+	}
+	s := &Span{r: r, phase: p, parent: parent}
+	if r.hasSink.Load() {
+		s.id = r.spanIDs.Add(1)
+		r.Emit(Event{Type: EvSpanBegin, Phase: p, Span: s.id, Parent: parent,
+			Comp: info.Comp, Worker: info.Worker, Size: info.Size, WriteN: info.Writes})
+	}
+	s.start = time.Now()
+	return s
+}
+
+// StartRootSpan begins a recovery's root span. If no ambient span is
+// open it first emits a trace-begin event with a fresh trace id — each
+// top-level recovery starts its own trace, while recoveries nested
+// inside a supervised attempt join the enclosing trace as subtrees.
+func (r *Recorder) StartRootSpan(p Phase, detail string) *Span {
+	if r == nil {
+		return nil
+	}
+	if r.hasSink.Load() {
+		r.spanMu.Lock()
+		root := len(r.ambient) == 0
+		r.spanMu.Unlock()
+		if root {
+			r.Emit(Event{Type: EvTraceBegin, Trace: fmt.Sprintf("t%d", r.traceIDs.Add(1)), Detail: detail})
+		}
+	}
+	return r.StartSpanInfo(p, SpanInfo{})
 }
 
 // End closes the span: it observes the elapsed time into the phase's
@@ -284,7 +437,21 @@ func (s *Span) End() time.Duration {
 	}
 	d := time.Since(s.start)
 	s.r.ObserveDuration("phase."+string(s.phase), d)
-	s.r.Emit(Event{Type: EvSpanEnd, Phase: s.phase, Dur: d})
+	if s.ambient {
+		s.r.spanMu.Lock()
+		for i := len(s.r.ambient) - 1; i >= 0; i-- {
+			if s.r.ambient[i] == s.id {
+				s.r.ambient = append(s.r.ambient[:i], s.r.ambient[i+1:]...)
+				break
+			}
+		}
+		s.r.spanMu.Unlock()
+	}
+	if s.id != 0 {
+		s.r.Emit(Event{Type: EvSpanEnd, Phase: s.phase, Dur: d, Span: s.id})
+	} else {
+		s.r.Emit(Event{Type: EvSpanEnd, Phase: s.phase, Dur: d})
+	}
 	return d
 }
 

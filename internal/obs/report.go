@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 	"text/tabwriter"
 	"time"
 )
@@ -218,6 +219,68 @@ func (r *Report) RenderTable(out io.Writer) {
 		fmt.Fprintln(w)
 	}
 	w.Flush()
+}
+
+// cacheLines pairs each cache's hit/miss counter keys for rendering.
+var cacheLines = []struct {
+	name, hits, misses string
+}{
+	{"log view", MViewHits, MViewMisses},
+	{"op graphs", MGraphHits, MGraphMisses},
+}
+
+// RenderCaches writes the campaign-wide memoization counters: hits,
+// misses, and hit rate for the log-view and operation-graph caches.
+// Reports produced before the cache counters existed render as "-".
+func (r *Report) RenderCaches(out io.Writer) {
+	if r.Totals == nil {
+		return
+	}
+	fmt.Fprintln(out, "caches:")
+	for _, c := range cacheLines {
+		_, hOK := r.Totals.Counters[c.hits]
+		_, mOK := r.Totals.Counters[c.misses]
+		if !hOK && !mOK {
+			fmt.Fprintf(out, "  %-10s  -\n", c.name)
+			continue
+		}
+		hits, misses := r.Totals.Counter(c.hits), r.Totals.Counter(c.misses)
+		total := hits + misses
+		rate := 0.0
+		if total > 0 {
+			rate = 100 * float64(hits) / float64(total)
+		}
+		fmt.Fprintf(out, "  %-10s  %d hits / %d misses (%.1f%% hit rate)\n", c.name, hits, misses, rate)
+	}
+}
+
+// PhaseTotal is one method's total time in one pipeline phase — a row
+// of the redostats -top view over metrics reports.
+type PhaseTotal struct {
+	Method string
+	Phase  string
+	Total  time.Duration
+}
+
+// SlowestPhases returns every (method, phase) total sorted
+// slowest-first.
+func (r *Report) SlowestPhases() []PhaseTotal {
+	var rows []PhaseTotal
+	for _, name := range r.MethodNames() {
+		s := r.Methods[name]
+		if s == nil {
+			continue
+		}
+		for _, k := range phaseKeys {
+			rows = append(rows, PhaseTotal{
+				Method: name,
+				Phase:  strings.TrimPrefix(k, "phase."),
+				Total:  time.Duration(s.Duration(k).Sum),
+			})
+		}
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].Total > rows[j].Total })
+	return rows
 }
 
 // RenderWidths writes the campaign-wide partition width histogram as a

@@ -1,0 +1,105 @@
+// Package rtrace is the causal recovery-trace artifact and its
+// analyzer: the on-disk schema produced by tracing runs (redobench
+// -trace.out, redosim -trace), well-formedness checking, span-tree
+// reconstruction, critical-path and straggler analysis, ASCII
+// timelines, and Chrome trace-event export for Perfetto.
+//
+// The event model comes from internal/obs (DESIGN.md §13): a trace
+// opens with an EvTraceBegin event, spans carry ids and parent ids, and
+// the parallel engine's component spans carry worker/size attribution.
+// One artifact may hold several traces back to back — a campaign traces
+// one recovery per method into a single recorder — and Split recovers
+// them individually.
+//
+// The name avoids internal/trace, which holds the paper's redocheck
+// crash-point traces (a different artifact entirely).
+package rtrace
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"redotheory/internal/obs"
+)
+
+// SchemaV1 identifies the trace artifact format.
+const SchemaV1 = "redotheory/trace/v1"
+
+// Trace is the on-disk trace artifact: a recorded event stream plus
+// provenance.
+type Trace struct {
+	Schema      string      `json:"schema"`
+	GeneratedAt string      `json:"generated_at"`
+	Source      string      `json:"source"`
+	Events      []obs.Event `json:"events"`
+}
+
+// New wraps a recorded event stream into an artifact.
+func New(source string, events []obs.Event) *Trace {
+	return &Trace{
+		Schema:      SchemaV1,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Source:      source,
+		Events:      events,
+	}
+}
+
+// WriteFile writes the artifact as indented JSON.
+func (t *Trace) WriteFile(path string) error {
+	data, err := json.MarshalIndent(t, "", " ")
+	if err != nil {
+		return fmt.Errorf("rtrace: encoding trace: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFile reads and decodes a trace artifact. Decoding is tolerant of
+// unknown fields; Check is where well-formedness is enforced.
+func ReadFile(path string) (*Trace, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var t Trace
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("rtrace: decoding %s: %w", path, err)
+	}
+	return &t, nil
+}
+
+// Check validates the artifact's well-formedness: the schema tag, a
+// non-empty stream, sequence numbers forming a strictly-increasing
+// total order, non-decreasing timestamps, and balanced, properly
+// nested spans (obs.CheckSpanNesting's forest check). It returns the
+// first violation found.
+func (t *Trace) Check() error {
+	if t == nil {
+		return fmt.Errorf("rtrace: nil trace")
+	}
+	if t.Schema != SchemaV1 {
+		return fmt.Errorf("rtrace: schema %q, want %q", t.Schema, SchemaV1)
+	}
+	if len(t.Events) == 0 {
+		return fmt.Errorf("rtrace: trace holds no events")
+	}
+	for i, e := range t.Events {
+		if e.Seq == 0 {
+			return fmt.Errorf("rtrace: event %d has no sequence number (%s)", i, e)
+		}
+		if i > 0 && e.Seq <= t.Events[i-1].Seq {
+			return fmt.Errorf("rtrace: seq %d follows %d — not a strictly increasing total order", e.Seq, t.Events[i-1].Seq)
+		}
+		if i > 0 && e.TS != 0 && t.Events[i-1].TS != 0 && e.TS < t.Events[i-1].TS {
+			return fmt.Errorf("rtrace: timestamp regressed at seq %d (%d after %d)", e.Seq, e.TS, t.Events[i-1].TS)
+		}
+	}
+	if err := obs.CheckSpanNesting(t.Events); err != nil {
+		return fmt.Errorf("rtrace: %w", err)
+	}
+	if _, err := Split(t.Events); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,181 @@
+package rtrace
+
+import (
+	"fmt"
+	"time"
+
+	"redotheory/internal/obs"
+)
+
+// Node is one reconstructed span of a recovery's causal tree.
+type Node struct {
+	ID     uint64
+	Parent uint64
+	Phase  obs.Phase
+	Comp   string
+	Worker int
+	Size   int
+	Writes int
+	// Begin and End are the span's boundary timestamps (ns since the
+	// recording process's trace epoch).
+	Begin int64
+	End   int64
+	Seq   uint64
+	// Children are ordered by begin sequence.
+	Children []*Node
+}
+
+// Dur returns the span's wall-clock extent.
+func (n *Node) Dur() time.Duration { return time.Duration(n.End - n.Begin) }
+
+// Label renders the node for tables and timelines: the phase, plus the
+// component/attempt label and worker when attributed.
+func (n *Node) Label() string {
+	switch {
+	case n.Comp != "" && n.Worker > 0:
+		return fmt.Sprintf("%s %s (w%d)", n.Phase, n.Comp, n.Worker)
+	case n.Comp != "":
+		return fmt.Sprintf("%s %s", n.Phase, n.Comp)
+	default:
+		return string(n.Phase)
+	}
+}
+
+// Recovery is one trace's worth of spans: a root forest reconstructed
+// from one EvTraceBegin to the next.
+type Recovery struct {
+	// TraceID is the trace-begin event's id ("" for spans recorded
+	// before any trace-begin — engine pieces traced standalone).
+	TraceID string
+	// Detail is the trace-begin event's description of the root.
+	Detail string
+	// Roots are the parentless spans, in begin order. A well-formed
+	// engine trace has exactly one.
+	Roots []*Node
+	// Spans counts every identified span in the recovery.
+	Spans int
+	// Events counts every event attributed to the recovery, identified
+	// spans or not.
+	Events int
+}
+
+// Begin returns the earliest root begin timestamp (0 when empty).
+func (r *Recovery) Begin() int64 {
+	if len(r.Roots) == 0 {
+		return 0
+	}
+	return r.Roots[0].Begin
+}
+
+// End returns the latest root end timestamp (0 when empty).
+func (r *Recovery) End() int64 {
+	var end int64
+	for _, n := range r.Roots {
+		if n.End > end {
+			end = n.End
+		}
+	}
+	return end
+}
+
+// Walk visits every node of the recovery depth-first in begin order,
+// with its depth (roots at 0).
+func (r *Recovery) Walk(fn func(n *Node, depth int)) {
+	var visit func(n *Node, depth int)
+	visit = func(n *Node, depth int) {
+		fn(n, depth)
+		for _, c := range n.Children {
+			visit(c, depth+1)
+		}
+	}
+	for _, n := range r.Roots {
+		visit(n, 0)
+	}
+}
+
+// Split partitions the event stream at trace-begin events and
+// reconstructs each trace's span tree. Identified spans attach under
+// their parent (or become roots); id-less span events — the engines'
+// per-record micro measurements — count toward Events but carry no
+// tree structure. A span left open at end of stream is an error, as is
+// an end without a begin; use it after (or as part of) Check.
+func Split(events []obs.Event) ([]*Recovery, error) {
+	var recs []*Recovery
+	var cur *Recovery
+	open := make(map[uint64]*Node)
+	flush := func() error {
+		if len(open) != 0 {
+			var witness *Node
+			for _, n := range open {
+				witness = n
+				break
+			}
+			return fmt.Errorf("rtrace: trace %q ends with %d spans still open (e.g. %s id %d)",
+				cur.TraceID, len(open), witness.Phase, witness.ID)
+		}
+		if cur != nil && cur.Events > 0 {
+			recs = append(recs, cur)
+		}
+		return nil
+	}
+	for _, e := range events {
+		if e.Type == obs.EvTraceBegin {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			cur = &Recovery{TraceID: e.Trace, Detail: e.Detail, Events: 1}
+			continue
+		}
+		if cur == nil {
+			cur = &Recovery{}
+		}
+		cur.Events++
+		switch e.Type {
+		case obs.EvSpanBegin:
+			if e.Span == 0 {
+				continue
+			}
+			n := &Node{
+				ID: e.Span, Parent: e.Parent, Phase: e.Phase,
+				Comp: e.Comp, Worker: e.Worker, Size: e.Size, Writes: e.WriteN,
+				Begin: e.TS, Seq: e.Seq,
+			}
+			if p, ok := open[e.Parent]; ok && e.Parent != 0 {
+				p.Children = append(p.Children, n)
+			} else {
+				cur.Roots = append(cur.Roots, n)
+			}
+			open[e.Span] = n
+			cur.Spans++
+		case obs.EvSpanEnd:
+			if e.Span == 0 {
+				continue
+			}
+			n, ok := open[e.Span]
+			if !ok {
+				return nil, fmt.Errorf("rtrace: span-end for id %d, which is not open (event %s)", e.Span, e)
+			}
+			n.End = e.TS
+			if n.End < n.Begin {
+				n.End = n.Begin
+			}
+			delete(open, e.Span)
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}
+
+// Main returns the recovery with the most spans — the one an analyzer
+// should lead with (nil when the trace holds none).
+func Main(recs []*Recovery) *Recovery {
+	var best *Recovery
+	for _, r := range recs {
+		if best == nil || r.Spans > best.Spans {
+			best = r
+		}
+	}
+	return best
+}

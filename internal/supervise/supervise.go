@@ -129,6 +129,14 @@ type Options struct {
 	SkipAudit bool
 	// Recorder receives attempt/backoff/ladder telemetry (nil disables).
 	Recorder *obs.Recorder
+	// Flight, when non-nil, is the crash-surviving event ring: the
+	// supervisor preserves its tail into a labeled snapshot after every
+	// failed attempt and dumps it into Result.Flight when the whole
+	// supervised recovery fails. When the recorder (created if needed)
+	// has no sink of its own, the flight recorder is attached as the
+	// sink for the duration, so events flow into the ring without any
+	// further wiring by the caller.
+	Flight *obs.FlightRecorder
 	// Sleep, when non-nil, replaces time.Sleep for backoff (tests and
 	// campaigns pass a no-op to keep wall clock out of the grid).
 	Sleep func(time.Duration)
@@ -226,6 +234,10 @@ type Result struct {
 	// Unrecoverable is true when the degraded rung proved committed work
 	// was lost; the supervisor stops immediately (no rung is lower).
 	Unrecoverable bool
+	// Flight is the flight-recorder dump captured on terminal failure
+	// (Options.Flight set and the supervised recovery did not converge):
+	// the preserved per-crash snapshots plus the final event ring.
+	Flight *obs.FlightDump
 }
 
 // attempt-failure sentinels; Err strings in Attempt derive from these.
@@ -291,6 +303,23 @@ func Supervise(db method.DB, opts Options) (*Result, error) {
 	if pc, ok := db.(method.ProgressCheckpointer); ok {
 		s.res.InstallCapable = pc.InstallsDuringRecovery()
 	}
+	// Flight wiring: with a ring but no sink of its own, the recorder
+	// (created if needed) streams into the ring for the duration. A
+	// recorder that is already sinking — the fuzz oracle tees into the
+	// ring itself — is left alone.
+	if o.Flight != nil {
+		if s.rec == nil {
+			s.rec = obs.New()
+		}
+		if !s.rec.Sinking() {
+			s.rec.SetSink(o.Flight)
+			defer s.rec.SetSink(nil)
+		}
+	}
+	// Root span: the whole supervised recovery is one trace; attempts
+	// and the engine recoveries they run nest inside it.
+	root := s.rec.StartRootSpan(obs.PhaseSupervise, "supervised "+db.Name())
+	defer root.End()
 
 	consecutive := 0
 	lastProgress := -1
@@ -299,6 +328,7 @@ func Supervise(db method.DB, opts Options) (*Result, error) {
 		s.rec.Inc(obs.MSupAttempts)
 
 		a := Attempt{Index: attempt, Rung: rung, Backoff: backoff, AuditOK: true}
+		as := s.rec.StartSpanInfo(obs.PhaseAttempt, obs.SpanInfo{Comp: fmt.Sprintf("attempt%d/%s", attempt, rung)})
 		state, err := s.runAttempt(rung, attempt, &a)
 
 		s.res.TotalInstalls += a.Installed
@@ -331,6 +361,8 @@ func Supervise(db method.DB, opts Options) (*Result, error) {
 			case isMediaFault(perr):
 				mediaEvidence = true
 			default:
+				as.End()
+				s.dumpFlight()
 				return s.res, fmt.Errorf("supervise: measuring progress after attempt %d: %w", attempt, perr)
 			}
 		} else {
@@ -342,6 +374,8 @@ func Supervise(db method.DB, opts Options) (*Result, error) {
 			if lastProgress >= 0 && progress < lastProgress {
 				a.Err = ErrProgressRegression.Error()
 				s.res.Attempts = append(s.res.Attempts, a)
+				as.End()
+				s.dumpFlight()
 				return s.res, fmt.Errorf("%w: %d after attempt %d, was %d", ErrProgressRegression, progress, attempt, lastProgress)
 			}
 			lastProgress = progress
@@ -351,6 +385,7 @@ func Supervise(db method.DB, opts Options) (*Result, error) {
 			a.Err = ""
 			s.res.Attempts = append(s.res.Attempts, a)
 			s.emitAttempt(a, "converged")
+			as.End()
 			s.res.Converged = true
 			s.res.Rung = rung
 			s.res.State = state
@@ -366,6 +401,8 @@ func Supervise(db method.DB, opts Options) (*Result, error) {
 		// evidence, so it escalates rather than erroring.
 		if !o.SkipAudit && s.res.InstallCapable {
 			if ok, aerr := s.audit(); aerr != nil {
+				as.End()
+				s.dumpFlight()
 				return s.res, fmt.Errorf("supervise: auditing after attempt %d: %w", attempt, aerr)
 			} else if !ok {
 				a.AuditOK = false
@@ -374,9 +411,16 @@ func Supervise(db method.DB, opts Options) (*Result, error) {
 		}
 		s.res.Attempts = append(s.res.Attempts, a)
 		s.emitAttempt(a, "failed")
+		as.End()
+		// Freeze the events leading into this failure before the next
+		// attempt's traffic overwrites the ring.
+		if o.Flight != nil {
+			o.Flight.Preserve(fmt.Sprintf("attempt %d on %s: %s", attempt, rung, a.Err))
+		}
 
 		if s.res.Unrecoverable {
 			s.res.Rung = rung
+			s.dumpFlight()
 			return s.res, nil
 		}
 
@@ -398,7 +442,16 @@ func Supervise(db method.DB, opts Options) (*Result, error) {
 		}
 	}
 	s.res.Rung = rung
+	s.dumpFlight()
 	return s.res, nil
+}
+
+// dumpFlight captures the terminal flight-recorder dump into the
+// result (no-op without a flight ring).
+func (s *session) dumpFlight() {
+	if s.o.Flight != nil {
+		s.res.Flight = s.o.Flight.Dump()
+	}
 }
 
 // backoff sleeps the exponential jittered delay before attempt k (> 0)
@@ -547,6 +600,15 @@ func (s *session) runInstalling(crashAfter int, a *Attempt) error {
 	redo := s.db.RedoTest()
 	analyze := s.db.Analyze()
 
+	// One span per fuzzy-checkpointed install batch: opened lazily at
+	// the batch's first install, closed when its progress checkpoint is
+	// appended (or, via the defer, when the attempt ends mid-batch — a
+	// crash point leaves the batch span closed just before the failure
+	// surfaces, so flight snapshots show which batch died).
+	var bs *obs.Span
+	batch := 0
+	defer func() { bs.End() }()
+
 	var analysis core.Analysis
 	for _, r := range log.Records() {
 		if checkpoint.Has(r.Op.ID()) {
@@ -568,6 +630,10 @@ func (s *session) runInstalling(crashAfter int, a *Attempt) error {
 		if s.o.TransientFaultRate > 0 && s.faults.Float64() < s.o.TransientFaultRate {
 			return errTransient
 		}
+		if bs == nil && s.rec.Sinking() {
+			bs = s.rec.StartSpanInfo(obs.PhaseInstall, obs.SpanInfo{
+				Comp: fmt.Sprintf("batch%d", batch), Size: s.o.ProgressEvery})
+		}
 		ws, err := state.Apply(r.Op)
 		if err != nil {
 			return fmt.Errorf("supervise: replaying %s: %w", r.Op, err)
@@ -579,6 +645,8 @@ func (s *session) runInstalling(crashAfter int, a *Attempt) error {
 		if pc != nil && s.o.ProgressEvery > 0 && a.Installed%s.o.ProgressEvery == 0 {
 			pc.AppendProgressCheckpoint(r.LSN + 1)
 			a.Checkpoints++
+			bs.End()
+			bs, batch = nil, batch+1
 		}
 	}
 	return nil
@@ -602,7 +670,7 @@ func (s *session) audit() (ok bool, err error) {
 		}
 	}()
 	log := s.db.StableLog()
-	checker, cerr := core.NewChecker(log, s.db.RecoveryBase())
+	checker, cerr := core.NewCheckerObserved(log, s.db.RecoveryBase(), s.rec)
 	if cerr != nil {
 		return false, cerr
 	}

@@ -559,3 +559,124 @@ func TestSuperviseExhaustion(t *testing.T) {
 		t.Errorf("last rung = %s, want degraded after repeated failures", res.Rung)
 	}
 }
+
+// TestSuperviseFlightDumpOnTerminalFailure: a run that exhausts its
+// attempt budget must dump the flight recorder — final ring plus one
+// preserved snapshot per failed attempt, each labeled with the attempt
+// and rung — into the result, and the dump must validate.
+func TestSuperviseFlightDumpOnTerminalFailure(t *testing.T) {
+	db := crashedDB(t, allMethods()["physiological"], 37, 8)
+	flight := obs.NewFlightRecorder(256)
+	res, err := Supervise(db, Options{
+		Seed:        1,
+		Sleep:       noSleep,
+		Crashes:     CrashPlan{Points: []int{0, 0, 0, 0}},
+		MaxAttempts: 4,
+		Recorder:    obs.New(),
+		Flight:      flight,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Fatal("converged with every attempt crashed")
+	}
+	if res.Flight == nil {
+		t.Fatal("terminal failure left no flight dump")
+	}
+	if err := res.Flight.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Flight.Events) == 0 {
+		t.Fatal("flight dump ring is empty")
+	}
+	if got := len(res.Flight.Snapshots); got != 4 {
+		t.Fatalf("%d crash snapshots, want one per failed attempt (4)", got)
+	}
+	for i, s := range res.Flight.Snapshots {
+		if s.Label == "" || len(s.Events) == 0 {
+			t.Fatalf("snapshot %d is unlabeled or empty: %+v", i, s)
+		}
+	}
+}
+
+// TestSuperviseFlightNotDumpedOnConvergence: a converged run keeps its
+// recorder attached for the campaign but produces no terminal dump.
+func TestSuperviseFlightNotDumpedOnConvergence(t *testing.T) {
+	db := crashedDB(t, allMethods()["physiological"], 5, 8)
+	res, err := Supervise(db, Options{
+		Seed:     1,
+		Sleep:    noSleep,
+		Recorder: obs.New(),
+		Flight:   obs.NewFlightRecorder(256),
+	})
+	if err != nil || !res.Converged {
+		t.Fatalf("converged=%v err=%v", res.Converged, err)
+	}
+	if res.Flight != nil {
+		t.Fatal("converged run produced a terminal flight dump")
+	}
+}
+
+// TestSuperviseSpanTree: a supervised recovery with one nested crash
+// traces as a well-formed tree — a trace-begin, a supervise root, one
+// attempt span per attempt, and install batches under the attempts.
+func TestSuperviseSpanTree(t *testing.T) {
+	db := crashedDB(t, allMethods()["physiological"], 5, 8)
+	rec := obs.New()
+	sink := &obs.MemorySink{}
+	rec.SetSink(sink)
+	res, err := Supervise(db, Options{
+		Seed:          1,
+		Sleep:         noSleep,
+		Crashes:       CrashPlan{Points: []int{1}},
+		MaxAttempts:   6,
+		ProgressEvery: 2,
+		Recorder:      rec,
+	})
+	rec.SetSink(nil)
+	if err != nil || !res.Converged {
+		t.Fatalf("converged=%v err=%v", res.Converged, err)
+	}
+	events := sink.Events()
+	if events[0].Type != obs.EvTraceBegin {
+		t.Fatalf("stream opens with %s, want %s", events[0].Type, obs.EvTraceBegin)
+	}
+	if err := obs.CheckSpanNesting(events); err != nil {
+		t.Fatal(err)
+	}
+	var supervised, attempts, batches int
+	var rootID uint64
+	for _, e := range events {
+		if e.Type != obs.EvSpanBegin || e.Span == 0 {
+			continue
+		}
+		switch e.Phase {
+		case obs.PhaseSupervise:
+			supervised++
+			rootID = e.Span
+		case obs.PhaseAttempt:
+			attempts++
+			if e.Parent != rootID {
+				t.Fatalf("attempt span %d parented under %d, want supervise root %d", e.Span, e.Parent, rootID)
+			}
+			if e.Comp == "" {
+				t.Fatalf("attempt span %d carries no attempt/rung label", e.Span)
+			}
+		case obs.PhaseInstall:
+			batches++
+		}
+	}
+	if supervised != 1 {
+		t.Fatalf("%d supervise roots, want 1", supervised)
+	}
+	if attempts != len(res.Attempts) {
+		t.Fatalf("%d attempt spans, result records %d attempts", attempts, len(res.Attempts))
+	}
+	if attempts < 2 {
+		t.Fatalf("%d attempts, want ≥2 (one crashed, one converging)", attempts)
+	}
+	if batches == 0 {
+		t.Fatal("no install-batch spans under the attempts")
+	}
+}

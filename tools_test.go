@@ -5,6 +5,7 @@ package redotheory_test
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -24,7 +25,7 @@ func builtTool(t *testing.T, name string) string {
 		if buildErr != nil {
 			return
 		}
-		for _, tool := range []string{"redograph", "redosim", "redocheck", "redofuzz"} {
+		for _, tool := range []string{"redograph", "redosim", "redocheck", "redofuzz", "redotrace", "redostats"} {
 			cmd := exec.Command("go", "build", "-o", filepath.Join(binDir, tool), "./cmd/"+tool)
 			out, err := cmd.CombinedOutput()
 			if err != nil {
@@ -229,6 +230,109 @@ func TestRedofuzzReproReplay(t *testing.T) {
 	}
 	if out, code := runTool(t, "redofuzz", "", "-repro", bad); code == 0 {
 		t.Errorf("malformed artifact accepted:\n%s", out)
+	}
+}
+
+func TestRedosimTracePipesIntoRedotrace(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.json")
+	out, code := runTool(t, "redosim", "", "-trace", trace, "-ops", "16", "-pages", "4")
+	if code != 0 {
+		t.Fatalf("redosim -trace exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "trace written to") {
+		t.Errorf("redosim -trace output unexpected:\n%s", out)
+	}
+
+	out, code = runTool(t, "redotrace", "", "-check", trace)
+	if code != 0 || !strings.Contains(out, "valid redotheory/trace/v1 trace") {
+		t.Fatalf("redotrace -check verdict (exit %d): %s", code, out)
+	}
+	out, code = runTool(t, "redotrace", "", trace)
+	if code != 0 {
+		t.Fatalf("redotrace exit %d:\n%s", code, out)
+	}
+	for _, want := range []string{"critical path", "stragglers", "timeline", "supervised"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("profile output missing %q:\n%s", want, out)
+		}
+	}
+
+	chrome := filepath.Join(dir, "chrome.json")
+	out, code = runTool(t, "redotrace", "", "-chrome", chrome, trace)
+	if code != 0 || !strings.Contains(out, "Chrome trace-event JSON") {
+		t.Fatalf("redotrace -chrome (exit %d): %s", code, out)
+	}
+	data, err := os.ReadFile(chrome)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Error("chrome export carries no events")
+	}
+
+	// A malformed trace is rejected in every mode.
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":"bogus","events":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out, code := runTool(t, "redotrace", "", "-check", bad); code == 0 {
+		t.Errorf("malformed trace accepted:\n%s", out)
+	}
+}
+
+func TestRedotraceCheckedInExample(t *testing.T) {
+	// The walkthrough trace under examples/ stays loadable and profilable.
+	path := filepath.Join("examples", "tracing", "trace.json")
+	out, code := runTool(t, "redotrace", "", "-check", path)
+	if code != 0 || !strings.Contains(out, "valid redotheory/trace/v1 trace") {
+		t.Fatalf("checked-in trace invalid (exit %d): %s", code, out)
+	}
+	out, code = runTool(t, "redotrace", "", "-top", "5", "-width", "64", path)
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	for _, want := range []string{"critical path", "stragglers", "timeline", "component"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("profile output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRedostatsTopRoutesOnSchema(t *testing.T) {
+	dir := t.TempDir()
+
+	// Trace input: slowest spans.
+	trace := filepath.Join("examples", "tracing", "trace.json")
+	out, code := runTool(t, "redostats", "", "-top", "5", trace)
+	if code != 0 || !strings.Contains(out, "spans:") {
+		t.Fatalf("trace -top verdict (exit %d): %s", code, out)
+	}
+
+	// Metrics input: slowest (method, phase) totals.
+	metrics := filepath.Join(dir, "metrics.json")
+	if out, code := runTool(t, "redosim", "", "-matrix", "-ops", "12", "-pages", "4", "-metrics", metrics); code != 0 {
+		t.Fatalf("redosim -metrics exit %d:\n%s", code, out)
+	}
+	out, code = runTool(t, "redostats", "", "-top", "5", metrics)
+	if code != 0 || !strings.Contains(out, "(method, phase) totals:") {
+		t.Fatalf("metrics -top verdict (exit %d): %s", code, out)
+	}
+
+	// Unknown schema: exit 1 naming both families.
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":"bogus"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, code = runTool(t, "redostats", "", "-top", "5", bad)
+	if code == 0 {
+		t.Errorf("unknown schema accepted:\n%s", out)
 	}
 }
 
