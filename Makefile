@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race soak fuzz fuzz-smoke nestedcrash-smoke trace-smoke bench bench-compare bench-full experiments examples tools campaign metrics cover clean
+.PHONY: all build vet test test-short race soak fuzz fuzz-smoke nestedcrash-smoke trace-smoke serve-smoke bench bench-compare bench-full experiments examples tools campaign metrics cover clean
 
 all: build vet test
 
@@ -60,6 +60,15 @@ trace-smoke:
 	$(GO) run ./cmd/redostats -top 10 trace.json
 	if command -v python3 >/dev/null; then python3 -m json.tool trace-chrome.json > /dev/null; fi
 
+# serve-smoke is the instant-restart availability benchmark: crash a
+# hot-page fixture, serve reads/writes immediately through lazy
+# per-page redo under concurrent client load, and drain to full
+# recovery. redoserve regenerates BENCH_serve.json (trend history
+# carried forward from the checked-in report) and exits 1 when p99
+# time-to-first-read exceeds 10% of an offline full recovery.
+serve-smoke:
+	$(GO) run ./cmd/redoserve -bench -out BENCH_serve.json -baseline BENCH_serve.json
+
 # bench runs the recovery benchmarks and the sequential-vs-parallel
 # comparison; redobench writes BENCH_parallel.json and fails when the
 # parallel engine breaks its perf contract (slower than sequential) or
@@ -91,6 +100,7 @@ examples:
 	$(GO) run ./examples/mediafault
 	$(GO) run ./examples/fuzzrepro
 	$(GO) run ./examples/tracing
+	$(GO) run ./examples/instantrestart
 
 tools:
 	$(GO) run ./cmd/redograph -all

@@ -126,6 +126,30 @@ func DecideRedoObserved(rec *obs.Recorder, state *model.State, log *Log, checkpo
 	return d
 }
 
+// Result materializes the decision as a recovery Result over the given
+// final state. The redo/installed sets and examined count are the
+// decision's own; Replayed lists the admitted operations in LSN order —
+// the order sequential Recover reports — regardless of the schedule
+// that actually applied them, which is exactly the linearization
+// DESIGN.md §8 licenses: any conflict-respecting application order is
+// indistinguishable from the sequential one. Both the partitioned
+// engine and the instant-restart serve engine report through this.
+func (d *RedoDecision) Result(state *model.State) *Result {
+	res := &Result{
+		State:     state,
+		RedoSet:   d.RedoSet,
+		Installed: d.Installed,
+		Examined:  d.Examined,
+	}
+	if len(d.Replay) > 0 {
+		res.Replayed = make([]model.OpID, len(d.Replay))
+		for i, r := range d.Replay {
+			res.Replayed[i] = r.Op.ID()
+		}
+	}
+	return res
+}
+
 // SameOutcome reports whether two recovery results are equivalent: the
 // same final state, the same redo set, the same replay order, and the
 // same number of records examined. It is the oracle the parallel replay

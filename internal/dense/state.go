@@ -57,6 +57,20 @@ func (d *State) Set(id uint32, v model.Value) {
 	}
 }
 
+// Get returns the value of the named variable and whether the variable
+// is interned. Callers serving reads straight off the arena (the
+// instant-restart engine's hot path) use the second return to fall back
+// to a map-backed state for variables outside the interner's id space.
+// Get reads only the value slot, never the presence bitmap, so it is
+// safe concurrent with Mark on other ids.
+func (d *State) Get(v model.Var) (model.Value, bool) {
+	id, ok := d.in.Lookup(v)
+	if !ok {
+		return "", false
+	}
+	return d.values[id], true
+}
+
 // StoreRaw writes the value slot only, leaving the presence bitmap
 // untouched. Distinct value slots are distinct memory locations, so
 // concurrent writers storing to disjoint ids are race-free — bitmap

@@ -21,7 +21,6 @@ package fuzz
 
 import (
 	"fmt"
-	"math/rand"
 	"sort"
 	"time"
 
@@ -362,40 +361,19 @@ func runFaultCells(m sim.NamedFactory, hist History, profile Schedule, rep *Repo
 }
 
 // execute runs the cell's history prefix under its schedule and crashes.
-// This is sim.Run's execution loop with the probabilities taken
+// It delegates to sim.BuildCrashed, which takes the probabilities
 // literally: the fuzzer owns schedule shrinking, and a shrunk schedule
 // must be able to express "no background activity", which sim.Config's
 // zero-means-default convention cannot.
 func execute(mk sim.Factory, cell Cell, rec *obs.Recorder) (method.DB, error) {
-	db := mk(workload.InitialState(workload.Pages(cell.History.Pages)))
-	db.SetRecorder(rec)
-	rng := rand.New(rand.NewSource(cell.Schedule.Seed))
 	s := cell.Schedule
-	for i := 0; i < cell.Crash; i++ {
-		if err := db.Exec(cell.History.Ops[i]); err != nil {
-			return nil, fmt.Errorf("fuzz: %s: executing op %d: %w", db.Name(), i, err)
-		}
-		if rng.Float64() < s.FlushProb {
-			db.FlushOne()
-		}
-		if rng.Float64() < s.ForceProb {
-			db.FlushLog()
-		}
-		if rng.Float64() < s.CheckpointProb {
-			if err := db.Checkpoint(); err != nil {
-				return nil, fmt.Errorf("fuzz: %s: checkpoint: %w", db.Name(), err)
-			}
-			if s.TruncateProb > 0 && rng.Float64() < s.TruncateProb {
-				if tr, ok := db.(method.Truncator); ok {
-					if _, err := tr.TruncateCheckpointed(); err != nil {
-						return nil, fmt.Errorf("fuzz: %s: truncate: %w", db.Name(), err)
-					}
-				}
-			}
-		}
-	}
-	db.Crash()
-	return db, nil
+	return sim.BuildCrashed(mk, workload.InitialState(workload.Pages(cell.History.Pages)), cell.History.Ops, cell.Crash, sim.Sched{
+		Seed:           s.Seed,
+		FlushProb:      s.FlushProb,
+		ForceProb:      s.ForceProb,
+		CheckpointProb: s.CheckpointProb,
+		TruncateProb:   s.TruncateProb,
+	}, rec)
 }
 
 func sortedKeys(m map[string]bool) []string {

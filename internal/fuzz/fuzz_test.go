@@ -20,12 +20,12 @@ func TestCleanGridAgrees(t *testing.T) {
 	for _, f := range rep.Failures {
 		t.Errorf("oracle disagreement: %s: %s: %s", f.Cell.String(), f.Check, f.Detail)
 	}
-	// 19 shapes across the 7 methods, 9 crash points each.
-	if rep.Cells < 150 {
+	// 26 shapes across the 7 methods, 9 crash points each.
+	if rep.Cells < 200 {
 		t.Fatalf("grid covered only %d cells", rep.Cells)
 	}
-	if rep.Histories != 19 {
-		t.Fatalf("histories = %d, want 19 (one per method × shape)", rep.Histories)
+	if rep.Histories != 26 {
+		t.Fatalf("histories = %d, want 26 (one per method × shape)", rep.Histories)
 	}
 	if len(rep.PartitionShapes) < 2 {
 		t.Fatalf("partition-shape coverage %v is degenerate", rep.PartitionShapes)

@@ -2,14 +2,17 @@ package fuzz
 
 import (
 	"fmt"
+	"math/rand"
 	"time"
 
 	"redotheory/internal/core"
 	"redotheory/internal/method"
 	"redotheory/internal/model"
 	"redotheory/internal/obs"
+	"redotheory/internal/serve"
 	"redotheory/internal/sim"
 	"redotheory/internal/supervise"
+	"redotheory/internal/workload"
 )
 
 // disagreement is one oracle leg's dissent.
@@ -54,6 +57,16 @@ type coverage struct {
 //     crashed at any point simply restarts and finishes). It runs last
 //     of all because its installing attempts persist redone work into
 //     the stable state.
+//  8. serve — the instant-restart engine (internal/serve) must agree
+//     with sequential recovery under lazy per-page redo: first with a
+//     seeded random touch order (every served read must already equal
+//     the oracle value, and the drained result must be SameOutcome with
+//     leg 4), then with a seeded mixed client schedule of reads and
+//     post-crash writes checked against the oracle state plus those
+//     writes in commit order. Despite the numbering it executes before
+//     the supervised leg — the serve engine works on fresh projections
+//     and a private WAL, while supervised attempts persist redone work
+//     into the stable state.
 //
 // A non-nil disagreement identifies the first leg that dissented. The
 // error return is reserved for harness breakage.
@@ -175,6 +188,11 @@ func checkCellRun(m sim.NamedFactory, cell Cell, rec *obs.Recorder, flight *obs.
 			detail: fmt.Sprintf("degraded audit failed: %v", auditViolations(deg))}, cov, nil
 	}
 
+	// Leg 8: instant-restart serving (before leg 7 — see the leg list).
+	if dis := checkServe(db, cell, seq, oracle, rec); dis != nil {
+		return dis, cov, nil
+	}
+
 	// Leg 7: supervised recovery under the cell's nested-crash schedule.
 	sup, err := supervise.Supervise(db, supervise.Options{
 		MaxAttempts:   len(cell.NestedCrash) + 8,
@@ -199,6 +217,102 @@ func checkCellRun(m sim.NamedFactory, cell Cell, rec *obs.Recorder, flight *obs.
 	}
 
 	return nil, cov, nil
+}
+
+// checkServe is oracle leg 8: lazy per-page recovery must be
+// indistinguishable from sequential recovery at every observation
+// point, for any touch order, with or without concurrent post-crash
+// writes. The engine works on fresh state/log projections and a
+// private WAL, so the crashed DB is untouched for the legs that follow.
+func checkServe(db method.DB, cell Cell, seq *core.Result, oracle *model.State, rec *obs.Recorder) *disagreement {
+	pages := workload.Pages(cell.History.Pages)
+	seed := sim.MixSeed(cell.Schedule.Seed, 7)
+	rng := rand.New(rand.NewSource(seed))
+
+	// 8a: read-only, random touch order.
+	eng, err := serve.New(db, serve.Options{Recorder: rec})
+	if err != nil {
+		return &disagreement{check: "serve-error", detail: err.Error()}
+	}
+	for _, pi := range rng.Perm(len(pages)) {
+		p := pages[pi]
+		v, err := eng.Read(p)
+		if err != nil {
+			return &disagreement{check: "serve-error",
+				detail: fmt.Sprintf("reading %s (touch seed %d): %v", p, seed, err)}
+		}
+		if want := oracle.Get(p); v != want {
+			return &disagreement{check: "serve-read",
+				detail: fmt.Sprintf("page %s served %q before full recovery, oracle has %q (touch seed %d)",
+					p, v, want, seed)}
+		}
+	}
+	if err := eng.Drain(); err != nil {
+		return &disagreement{check: "serve-error", detail: "drain: " + err.Error()}
+	}
+	res, err := eng.Result()
+	if err != nil {
+		return &disagreement{check: "serve-error", detail: err.Error()}
+	}
+	if err := res.SameOutcome(seq); err != nil {
+		return &disagreement{check: "serve-divergence", detail: err.Error()}
+	}
+
+	// 8b: seeded mixed client schedule — reads interleaved with
+	// post-crash writes, the background sweeper racing both. The
+	// reference applies the same writes, in commit order, on top of the
+	// oracle state.
+	eng2, err := serve.New(db, serve.Options{Recorder: rec, Sweeper: true})
+	if err != nil {
+		return &disagreement{check: "serve-error", detail: err.Error()}
+	}
+	defer eng2.Close()
+	var maxID model.OpID
+	for _, op := range cell.History.Ops {
+		if op.ID() > maxID {
+			maxID = op.ID()
+		}
+	}
+	ref := oracle.Clone()
+	nextID := maxID + 1
+	for i := 0; i < 2*len(pages); i++ {
+		p := pages[rng.Intn(len(pages))]
+		if rng.Float64() < 0.3 {
+			op := model.ReadWrite(nextID, "post", []model.Var{p}, []model.Var{p})
+			nextID++
+			if err := eng2.Exec(op); err != nil {
+				return &disagreement{check: "serve-exec-error",
+					detail: fmt.Sprintf("%s (touch seed %d): %v", op, seed, err)}
+			}
+			if _, err := ref.Apply(op); err != nil {
+				return &disagreement{check: "serve-exec-error", detail: err.Error()}
+			}
+		} else {
+			v, err := eng2.Read(p)
+			if err != nil {
+				return &disagreement{check: "serve-error",
+					detail: fmt.Sprintf("mixed read %s (touch seed %d): %v", p, seed, err)}
+			}
+			if want := ref.Get(p); v != want {
+				return &disagreement{check: "serve-mixed-read",
+					detail: fmt.Sprintf("page %s served %q mid-stream, oracle+writes has %q (touch seed %d)",
+						p, v, want, seed)}
+			}
+		}
+	}
+	if err := eng2.Drain(); err != nil {
+		return &disagreement{check: "serve-error", detail: "mixed drain: " + err.Error()}
+	}
+	res2, err := eng2.Result()
+	if err != nil {
+		return &disagreement{check: "serve-error", detail: err.Error()}
+	}
+	if !res2.State.Equal(ref) {
+		return &disagreement{check: "serve-mixed-divergence",
+			detail: fmt.Sprintf("drained state diverges from oracle+writes on %v (touch seed %d)",
+				res2.State.Diff(ref), seed)}
+	}
+	return nil
 }
 
 func auditViolations(deg *method.DegradedResult) interface{} {

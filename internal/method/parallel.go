@@ -116,19 +116,7 @@ func recoverPartitioned(rec *obs.Recorder, state *model.State, log *core.Log, ch
 		return nil, partition.Stats{}, err
 	}
 
-	res := &core.Result{
-		State:     state,
-		RedoSet:   decision.RedoSet,
-		Installed: decision.Installed,
-		Examined:  decision.Examined,
-	}
-	if len(decision.Replay) > 0 {
-		res.Replayed = make([]model.OpID, len(decision.Replay))
-		for i, r := range decision.Replay {
-			res.Replayed[i] = r.Op.ID()
-		}
-	}
-	return res, plan.Stats(), nil
+	return decision.Result(state), plan.Stats(), nil
 }
 
 // poolSize bounds the worker count by the available parallelism and the

@@ -76,6 +76,11 @@ const (
 	// PhaseInstall is one fuzzy-checkpointed install batch inside an
 	// installing attempt.
 	PhaseInstall Phase = "install"
+	// PhaseLazyRedo is one interference component recovered on demand by
+	// the serve engine — the unit of instant-restart work a client touch
+	// (or the background sweeper) triggers. Its begin event carries
+	// Comp/Size/WriteN like PhaseComponent.
+	PhaseLazyRedo Phase = "lazyredo"
 )
 
 // Metric names recorded by the instrumented packages. Durations land
@@ -115,6 +120,16 @@ const (
 	MWALAppends    = "wal.appends"    // log records appended
 	MWALBytes      = "wal.bytes"      // simulated log bytes appended
 	MWALForces     = "wal.forces"     // log forces that did work
+
+	// Instant-restart serve counters (internal/serve).
+	MServeReads    = "serve.reads"        // client reads served
+	MServeWrites   = "serve.writes"       // post-crash client writes committed
+	MServeLazy     = "serve.lazy_redo"    // components recovered on demand by a touch
+	MServeSwept    = "serve.swept"        // components recovered by the background sweeper
+	MServeGateWait = "serve.gate_wait"    // duration histogram: time a touch spent blocked on the admission gate
+	MServeTTFR     = "serve.ttfr"         // duration histogram: time from engine start to the first served read
+	GServePages    = "serve.pages_recovered" // gauge: pages (written variables) recovered so far
+	GServeComps    = "serve.components_recovered" // gauge: components recovered so far
 
 	// Shared-cache effectiveness counters (core.ViewCache/GraphCache).
 	MViewHits    = "cache.view_hits"    // log-view cache hits

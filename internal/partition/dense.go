@@ -43,6 +43,56 @@ func (p *DensePlan) Stats() Stats {
 	return Stats{Ops: p.Ops, Components: len(p.Components), Largest: p.MaxComponentLen()}
 }
 
+// WriterIndex returns the page→component table of the plan: entry x is
+// the index (into Components) of the component that writes variable id
+// x, or -1 when no scheduled operation writes it. Because components
+// write disjoint variables, the writer component is unique — this is
+// the page→admitted-records index the instant-restart serve engine
+// consults on every touch. numIDs is the interner's Len().
+func (p *DensePlan) WriterIndex(numIDs int) []int32 {
+	out := make([]int32, numIDs)
+	for i := range out {
+		out[i] = -1
+	}
+	for ci, c := range p.Components {
+		for _, x := range c.Writes {
+			out[x] = int32(ci)
+		}
+	}
+	return out
+}
+
+// ReaderIndex returns, per variable id, the components whose scheduled
+// operations read it without writing it: the stable variables a
+// component's recomputation depends on. Interference closure fuses a
+// reader with the variable's writer, so for any id with a writer
+// component the reader list is empty by construction; non-empty lists
+// name variables no component writes. The serve engine's admission
+// gate uses this as the careful-write-order constraint for post-crash
+// writes: a new write to x may proceed only once every component
+// reading x has replayed, or its recomputations would observe the new
+// value instead of the crash-time one. views must be the log view the
+// plan was built from; numIDs is the interner's Len().
+func (p *DensePlan) ReaderIndex(views []core.RecordView, numIDs int) [][]int32 {
+	writer := p.WriterIndex(numIDs)
+	out := make([][]int32, numIDs)
+	for ci, c := range p.Components {
+		for _, vi := range c.Idx {
+			for _, x := range views[vi].Reads {
+				if writer[x] == int32(ci) {
+					continue // own write: not a stable dependency
+				}
+				rs := out[x]
+				if n := len(rs); n > 0 && rs[n-1] == int32(ci) {
+					continue // already recorded for this component
+				}
+				out[x] = append(rs, int32(ci))
+			}
+		}
+	}
+	return out
+}
+
 // FromViews is FromRecords on the dense representation: it plans the
 // replay of the records named by replayIdx (indexes into views, in LSN
 // order, as the decision phase yields them) with the same interference

@@ -114,3 +114,67 @@ func TestFromViewsEmptyReplay(t *testing.T) {
 		t.Fatalf("empty plan has critical path %d", p.MaxComponentLen())
 	}
 }
+
+// TestWriterReaderIndexes: the serve-engine gate indexes must invert
+// the plan exactly — WriterIndex maps a variable to the unique
+// component writing it (components write disjoint variables) and
+// ReaderIndex lists, without duplicates, exactly the components whose
+// replay reads the variable without writing it.
+func TestWriterReaderIndexes(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		l := randomAccessLog(30, 2+int(seed)%7, seed)
+		lv := core.NewLogView(l)
+		replayIdx := make([]int, l.Len())
+		for i := range replayIdx {
+			replayIdx[i] = i
+		}
+		p := partition.FromViews(lv.Views, replayIdx, lv.In.Len())
+		writer := p.WriterIndex(lv.In.Len())
+		readers := p.ReaderIndex(lv.Views, lv.In.Len())
+
+		wantWriter := make([]int32, lv.In.Len())
+		for i := range wantWriter {
+			wantWriter[i] = -1
+		}
+		wantReaders := make([]map[int32]bool, lv.In.Len())
+		for ci, c := range p.Components {
+			for _, id := range c.Writes {
+				if wantWriter[id] != -1 {
+					t.Fatalf("seed %d: variable %d written by components %d and %d", seed, id, wantWriter[id], ci)
+				}
+				wantWriter[id] = int32(ci)
+			}
+			for _, vi := range c.Idx {
+				for _, id := range lv.Views[vi].Reads {
+					if wantReaders[id] == nil {
+						wantReaders[id] = map[int32]bool{}
+					}
+					wantReaders[id][int32(ci)] = true
+				}
+			}
+		}
+		for id := 0; id < lv.In.Len(); id++ {
+			if writer[id] != wantWriter[id] {
+				t.Fatalf("seed %d: writer[%d] = %d, want %d", seed, id, writer[id], wantWriter[id])
+			}
+			seen := map[int32]bool{}
+			for _, ci := range readers[id] {
+				if seen[ci] {
+					t.Fatalf("seed %d: readers[%d] lists component %d twice", seed, id, ci)
+				}
+				seen[ci] = true
+				if ci == writer[id] {
+					t.Fatalf("seed %d: readers[%d] lists its own writer %d", seed, id, ci)
+				}
+				if !wantReaders[id][ci] {
+					t.Fatalf("seed %d: readers[%d] lists component %d, which never reads it", seed, id, ci)
+				}
+			}
+			for ci := range wantReaders[id] {
+				if ci != writer[id] && !seen[ci] {
+					t.Fatalf("seed %d: readers[%d] misses reading component %d", seed, id, ci)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,227 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"redotheory/internal/method"
+	"redotheory/internal/model"
+	"redotheory/internal/sim"
+	"redotheory/internal/workload"
+)
+
+// BenchConfig parameterizes the instant-restart availability benchmark.
+// The zero value of any field selects its default.
+type BenchConfig struct {
+	// Ops, Pages, Rounds shape the crashed history: a HeavyHotPage
+	// workload of Ops operations over Pages pages, each folding its
+	// digest Rounds times so replay work dominates bookkeeping.
+	Ops, Pages, Rounds int
+	// Clients concurrent client goroutines each issue Requests
+	// operations against the serving engine, picking pages from the
+	// same Zipfian distribution the history used; every WriteEvery-th
+	// request is a post-crash write through the admission gate.
+	Clients, Requests, WriteEvery int
+	// Trials repeats the whole crash/restart cycle; TTFR percentiles
+	// pool the per-client first-read samples across trials.
+	Trials int
+	// SweepDelay holds the background sweeper back after each restart.
+	SweepDelay time.Duration
+	Seed       int64
+}
+
+func (c *BenchConfig) defaults() {
+	if c.Ops == 0 {
+		c.Ops = 3000
+	}
+	if c.Pages == 0 {
+		c.Pages = 512
+	}
+	if c.Rounds == 0 {
+		c.Rounds = 2000
+	}
+	if c.Clients == 0 {
+		c.Clients = 4
+	}
+	if c.Requests == 0 {
+		c.Requests = 200
+	}
+	if c.WriteEvery == 0 {
+		c.WriteEvery = 10
+	}
+	if c.Trials == 0 {
+		c.Trials = 5
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	// Hold the sweeper back long enough for the first client touches to
+	// own the machine: on a single CPU an immediate sweep competes with
+	// the very reads whose latency is the point of the measurement. The
+	// sweeper then drains the cold tail; only OnlineFull pays for the
+	// head start, and availability — not restore time — is the claim
+	// under test.
+	if c.SweepDelay == 0 {
+		c.SweepDelay = 25 * time.Millisecond
+	}
+}
+
+// BenchResult summarizes one benchmark run.
+type BenchResult struct {
+	// Fixture describes the crashed history.
+	Fixture string
+	// Samples is the number of pooled first-read measurements
+	// (Clients × Trials).
+	Samples int
+	// TTFRP50/P99/Max are percentiles of time-to-first-read: the time
+	// from the crash handoff (engine construction, i.e. the decision
+	// phase) to a client's first successfully served read.
+	TTFRP50, TTFRP99, TTFRMax time.Duration
+	// OfflineFull is the median wall-clock of sequential offline
+	// Recover over the same survivors — what a non-instant restart
+	// would wait before serving anything. The availability gate
+	// compares TTFRP99 against it.
+	OfflineFull time.Duration
+	// OnlineFull is the median time from engine start to the last
+	// component's recovery while clients and the sweeper share the
+	// machine — the restore-time cost of serving early.
+	OnlineFull time.Duration
+	// Ratio is TTFRP99 / OfflineFull: the fraction of an offline
+	// recovery wait a p99 client actually experiences.
+	Ratio float64
+	// Reads/Writes/Lazy/Swept are engine counters summed over trials.
+	Reads, Writes, Lazy, Swept int64
+}
+
+// RunBench measures instant-restart availability: it crashes a
+// HeavyHotPage history with the whole log forced (maximal redo debt,
+// nothing installed), then for each trial times (a) sequential offline
+// Recover and (b) the serving engine under concurrent Zipfian client
+// load, recording each client's first successful read. The headline
+// ratio is p99 time-to-first-read over median offline recovery — the
+// instant-restart claim is that this is a small fraction.
+func RunBench(cfg BenchConfig) (*BenchResult, error) {
+	cfg.defaults()
+	pages := workload.Pages(cfg.Pages)
+	ops := workload.HeavyHotPage(cfg.Ops, pages, cfg.Rounds, cfg.Seed)
+	mk := func(s *model.State) method.DB { return method.NewPhysiological(s) }
+	sched := sim.Sched{Seed: cfg.Seed, ForceOnCrash: true}
+
+	res := &BenchResult{
+		Fixture: fmt.Sprintf("heavyhot/ops=%d,pages=%d,rounds=%d", cfg.Ops, cfg.Pages, cfg.Rounds),
+	}
+	var ttfrs, onlines, offlines []time.Duration
+	for trial := 0; trial < cfg.Trials; trial++ {
+		// Offline baseline: crash, then sequential Recover end to end.
+		db, err := sim.BuildCrashed(mk, workload.InitialState(pages), ops, len(ops), sched, nil)
+		if err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		if _, err := method.Recover(db); err != nil {
+			return nil, fmt.Errorf("serve: offline recovery: %w", err)
+		}
+		offlines = append(offlines, time.Since(t0))
+
+		// Online: same crash, serve immediately under client load.
+		db, err = sim.BuildCrashed(mk, workload.InitialState(pages), ops, len(ops), sched, nil)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		eng, err := New(db, Options{Sweeper: true, SweepDelay: cfg.SweepDelay})
+		if err != nil {
+			return nil, err
+		}
+		firsts := make([]time.Duration, cfg.Clients)
+		errs := make([]error, cfg.Clients)
+		var wg sync.WaitGroup
+		for c := 0; c < cfg.Clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				// The same Zipf parameters as workload.HotPage: clients
+				// hammer the pages the crashed history was hot on.
+				rng := rand.New(rand.NewSource(cfg.Seed + 101*int64(trial) + int64(c)))
+				z := rand.NewZipf(rng, 1.2, 16, uint64(len(pages)-1))
+				nextID := model.OpID(len(ops) + 1 + c*cfg.Requests)
+				for r := 0; r < cfg.Requests; r++ {
+					p := pages[z.Uint64()]
+					if (r+1)%cfg.WriteEvery == 0 {
+						op := model.ReadWrite(nextID, "client", []model.Var{p}, []model.Var{p})
+						nextID++
+						if err := eng.Exec(op); err != nil {
+							errs[c] = err
+							return
+						}
+					} else {
+						if _, err := eng.Read(p); err != nil {
+							errs[c] = err
+							return
+						}
+						if firsts[c] == 0 {
+							firsts[c] = time.Since(start)
+						}
+					}
+					// A request boundary: a real client hands the connection
+					// back between RPCs. Without the yield, one goroutine's
+					// request loop can monopolize a single-CPU scheduler for
+					// tens of milliseconds of lazy-redo work and the other
+					// clients' first reads would measure scheduler occupancy,
+					// not recovery availability.
+					runtime.Gosched()
+				}
+			}(c)
+		}
+		wg.Wait()
+		<-eng.Done() // the sweeper drains whatever the clients left cold
+		eng.Close()
+		for _, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("serve: bench client: %w", err)
+			}
+		}
+		st := eng.Stats()
+		onlines = append(onlines, st.FullRecovery)
+		res.Reads += st.Reads
+		res.Writes += st.Writes
+		res.Lazy += st.Lazy
+		res.Swept += st.Swept
+		ttfrs = append(ttfrs, firsts...)
+	}
+
+	sort.Slice(ttfrs, func(i, j int) bool { return ttfrs[i] < ttfrs[j] })
+	sort.Slice(onlines, func(i, j int) bool { return onlines[i] < onlines[j] })
+	sort.Slice(offlines, func(i, j int) bool { return offlines[i] < offlines[j] })
+	res.Samples = len(ttfrs)
+	res.TTFRP50 = pct(ttfrs, 50)
+	res.TTFRP99 = pct(ttfrs, 99)
+	res.TTFRMax = ttfrs[len(ttfrs)-1]
+	res.OfflineFull = pct(offlines, 50)
+	res.OnlineFull = pct(onlines, 50)
+	if res.OfflineFull > 0 {
+		res.Ratio = float64(res.TTFRP99) / float64(res.OfflineFull)
+	}
+	return res, nil
+}
+
+// pct returns the p-th percentile of a sorted duration slice
+// (nearest-rank definition).
+func pct(d []time.Duration, p float64) time.Duration {
+	if len(d) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(p/100*float64(len(d)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(d) {
+		i = len(d) - 1
+	}
+	return d[i]
+}

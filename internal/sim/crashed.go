@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"redotheory/internal/method"
+	"redotheory/internal/model"
+	"redotheory/internal/obs"
+)
+
+// Sched is a literal-probability background-activity schedule. Unlike
+// Config, a zero probability means "never": the fuzzer's shrinker must
+// be able to express "no background activity at all", and the serve
+// benchmarks need an everything-logged-nothing-flushed fixture, neither
+// of which Config's zero-means-default convention can say.
+type Sched struct {
+	Seed           int64
+	FlushProb      float64
+	ForceProb      float64
+	CheckpointProb float64
+	TruncateProb   float64
+	// ForceOnCrash forces the whole log to stable storage immediately
+	// before the crash, so the crash loses no log tail — the maximal
+	// redo backlog, which is what the instant-restart benchmarks want.
+	ForceOnCrash bool
+}
+
+// BuildCrashed executes the first crash operations of the history under
+// the schedule and crashes the database, returning it ready for
+// recovery (the survivors are valid per the method.DB recovery
+// surface). It is the execution loop shared by the fuzzer's cells and
+// the serve benchmarks; probabilities are taken literally (see Sched).
+func BuildCrashed(mk Factory, initial *model.State, ops []*model.Op, crash int, s Sched, rec *obs.Recorder) (method.DB, error) {
+	if crash < 0 || crash > len(ops) {
+		return nil, fmt.Errorf("sim: crash point %d out of range [0,%d]", crash, len(ops))
+	}
+	db := mk(initial)
+	db.SetRecorder(rec)
+	rng := rand.New(rand.NewSource(s.Seed))
+	for i := 0; i < crash; i++ {
+		if err := db.Exec(ops[i]); err != nil {
+			return nil, fmt.Errorf("sim: %s: executing op %d: %w", db.Name(), i, err)
+		}
+		if rng.Float64() < s.FlushProb {
+			db.FlushOne()
+		}
+		if rng.Float64() < s.ForceProb {
+			db.FlushLog()
+		}
+		if rng.Float64() < s.CheckpointProb {
+			if err := db.Checkpoint(); err != nil {
+				return nil, fmt.Errorf("sim: %s: checkpoint: %w", db.Name(), err)
+			}
+			if s.TruncateProb > 0 && rng.Float64() < s.TruncateProb {
+				if tr, ok := db.(method.Truncator); ok {
+					if _, err := tr.TruncateCheckpointed(); err != nil {
+						return nil, fmt.Errorf("sim: %s: truncate: %w", db.Name(), err)
+					}
+				}
+			}
+		}
+	}
+	if s.ForceOnCrash {
+		db.FlushLog()
+	}
+	db.Crash()
+	return db, nil
+}

@@ -143,6 +143,82 @@ func HeavySinglePage(n int, pages []model.Var, rounds int, seed int64) []*model.
 	return ops
 }
 
+// HotPage generates n single-page read-modify-write operations with a
+// production-shaped page distribution: a Zipfian pick concentrates
+// traffic on a few hot pages, and bursts occasionally pin several
+// consecutive operations to the same page (a user hammering one row, a
+// queue draining one partition). It is the default workload of the
+// instant-restart serve benchmarks — the hot pages are what clients
+// touch first after a crash, so lazy per-page redo recovers them far
+// ahead of the cold tail. Like every ShapesFor generator it builds ops
+// exclusively with model.ReadWrite, so histories are reconstructible
+// from repro artifacts.
+func HotPage(n int, pages []model.Var, seed int64) []*model.Op {
+	rng := rand.New(rand.NewSource(seed))
+	// The head is softened (v = 16) so the hottest page draws a bounded
+	// share of the traffic — many times its uniform share, but still a
+	// small fraction of the whole: skew concentrates the working set
+	// without turning the history into one giant interference component
+	// whose on-demand replay would approach a full recovery.
+	z := rand.NewZipf(rng, 1.2, 16, uint64(len(pages)-1))
+	ops := make([]*model.Op, n)
+	burst := 0
+	var p model.Var
+	for i := range ops {
+		if burst > 0 {
+			burst-- // ride the current burst: same page again
+		} else {
+			p = pages[z.Uint64()]
+			if rng.Float64() < 0.2 {
+				burst = 1 + rng.Intn(4)
+			}
+		}
+		ops[i] = model.ReadWrite(model.OpID(i+1), "hot", []model.Var{p}, []model.Var{p})
+	}
+	return ops
+}
+
+// HeavyHotPage is HotPage with HeavySinglePage's compute cost: the same
+// Zipfian/bursty page sequence, but each operation iterates the digest
+// fold `rounds` times so replay work dominates scheduling overhead. The
+// serve availability benchmark uses it as its crashed history — cold
+// pages carry real redo debt while clients hammer the hot set.
+func HeavyHotPage(n int, pages []model.Var, rounds int, seed int64) []*model.Op {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, 1.2, 16, uint64(len(pages)-1))
+	ops := make([]*model.Op, n)
+	burst := 0
+	var p model.Var
+	for i := range ops {
+		if burst > 0 {
+			burst--
+		} else {
+			p = pages[z.Uint64()]
+			if rng.Float64() < 0.2 {
+				burst = 1 + rng.Intn(4)
+			}
+		}
+		id := model.OpID(i + 1)
+		pg := p
+		ops[i] = model.NewOp(id, "heavyhot", []model.Var{pg}, []model.Var{pg},
+			func(r model.ReadSet) model.WriteSet {
+				const prime = 1099511628211
+				h := uint64(14695981039346656037) ^ uint64(id)
+				in := string(r[pg])
+				for k := 0; k < rounds; k++ {
+					for j := 0; j < len(in); j++ {
+						h ^= uint64(in[j])
+						h *= prime
+					}
+					h ^= uint64(k)
+					h *= prime
+				}
+				return model.WriteSet{pg: model.IntVal(int64(h % (1 << 62)))}
+			})
+	}
+	return ops
+}
+
 // BankTransfers generates n two-account transfers (read both accounts,
 // write both) over the pages as accounts: a classic multi-variable
 // workload for the logical and physical methods.
@@ -197,13 +273,15 @@ func ShapesFor(name string) ([]Shape, error) {
 	}}
 	anyShape := Shape{"any", AnyShape}
 	blind := Shape{"blind", BlindWrites}
+	// hotPage is single-page RMW, so it is legal for every method.
+	hotPage := Shape{"hot-page/zipf", HotPage}
 	switch name {
 	case "physiological", "physiological+dpt":
-		return []Shape{singleUniform, singleSkew}, nil
+		return []Shape{singleUniform, singleSkew, hotPage}, nil
 	case "genlsn", "genlsn+mv":
-		return []Shape{rmwNarrow, rmwWide, singleUniform}, nil
+		return []Shape{rmwNarrow, rmwWide, singleUniform, hotPage}, nil
 	case "physical", "grouplsn", "logical":
-		return []Shape{anyShape, blind, singleUniform}, nil
+		return []Shape{anyShape, blind, singleUniform, hotPage}, nil
 	default:
 		return nil, fmt.Errorf("workload: unknown method %q", name)
 	}

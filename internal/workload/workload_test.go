@@ -150,3 +150,85 @@ func TestScenario1NoPrefixExplains(t *testing.T) {
 		}
 	}
 }
+
+func TestHotPageShape(t *testing.T) {
+	ps := Pages(32)
+	ops := HotPage(400, ps, 5)
+	counts := map[model.Var]int{}
+	bursts := 0
+	for i, op := range ops {
+		if len(op.Writes()) != 1 || len(op.Reads()) != 1 || op.Reads()[0] != op.Writes()[0] {
+			t.Fatalf("op %s is not single-page", op)
+		}
+		counts[op.Writes()[0]]++
+		if i > 0 && op.Writes()[0] == ops[i-1].Writes()[0] {
+			bursts++
+		}
+	}
+	// Zipfian skew: the hottest page must clearly beat a uniform share.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if uniform := len(ops) / len(ps); max <= 2*uniform {
+		t.Errorf("hottest page got %d of %d ops — no visible skew (uniform share %d)", max, len(ops), uniform)
+	}
+	if bursts == 0 {
+		t.Error("generator never produced a same-page burst")
+	}
+	// Determinism: same seed, identical page sequence.
+	again := HotPage(400, ps, 5)
+	for i := range ops {
+		if ops[i].Writes()[0] != again[i].Writes()[0] {
+			t.Fatalf("op %d page diverges across identical seeds", i)
+		}
+	}
+}
+
+func TestHeavyHotPageTracksHotPageSequence(t *testing.T) {
+	ps := Pages(16)
+	light := HotPage(100, ps, 9)
+	heavy := HeavyHotPage(100, ps, 3, 9)
+	for i := range light {
+		if light[i].Writes()[0] != heavy[i].Writes()[0] {
+			t.Fatalf("op %d: heavy generator picked %s, light picked %s",
+				i, heavy[i].Writes()[0], light[i].Writes()[0])
+		}
+	}
+	// The heavy compute is deterministic per seed.
+	s1, s2 := InitialState(ps), InitialState(ps)
+	for _, op := range heavy {
+		s1.MustApply(op)
+	}
+	for _, op := range HeavyHotPage(100, ps, 3, 9) {
+		s2.MustApply(op)
+	}
+	if !s1.Equal(s2) {
+		t.Error("heavy generator not deterministic")
+	}
+}
+
+func TestShapesForIncludeHotPage(t *testing.T) {
+	total := 0
+	for _, name := range []string{"physiological", "physiological+dpt", "genlsn", "genlsn+mv", "physical", "grouplsn", "logical"} {
+		shapes, err := ShapesFor(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, sh := range shapes {
+			if sh.Name == "hot-page/zipf" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: shape list %d lacks hot-page/zipf", name, len(shapes))
+		}
+		total += len(shapes)
+	}
+	if total != 26 {
+		t.Errorf("total shapes = %d, want 26 (the fuzzer's history count)", total)
+	}
+}
