@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race soak fuzz fuzz-smoke nestedcrash-smoke trace-smoke serve-smoke bench bench-compare bench-full experiments examples tools campaign metrics cover clean
+.PHONY: all build vet test test-short race soak fuzz fuzz-smoke nestedcrash-smoke shard-smoke trace-smoke serve-smoke bench bench-compare bench-full experiments examples tools campaign metrics cover clean
 
 all: build vet test
 
@@ -45,6 +45,16 @@ fuzz-smoke:
 nestedcrash-smoke:
 	$(GO) run -race ./cmd/redosim -nested-crash -ops 12 -pages 4 -seeds 3 -workers 4 -out nestedcrashout -metrics nestedcrash-metrics.json
 	$(GO) run ./cmd/redostats -check nestedcrash-metrics.json
+
+# shard-smoke is the sharded certified-cut differential grid under the
+# race detector: every eligible method × shard counts {2,4} ×
+# synchronized/staggered per-shard crash points × seeds must recover
+# per shard from the certified cut (sequentially and in parallel) to
+# exactly the merged single-log oracle's state, with every shard
+# projection passing the invariant audit. Exits 1 on any divergence;
+# repro artifacts land in shardout/.
+shard-smoke:
+	$(GO) run -race ./cmd/redosim -shards 2,4 -seeds 2 -ops 24 -out shardout
 
 # trace-smoke exercises the causal-tracing pipeline end to end: trace
 # representative recoveries (every method's parallel recovery plus one

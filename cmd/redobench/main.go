@@ -50,6 +50,7 @@ import (
 	"redotheory/internal/method"
 	"redotheory/internal/obs"
 	"redotheory/internal/rtrace"
+	"redotheory/internal/trendlog"
 	"redotheory/internal/workload"
 )
 
@@ -98,7 +99,7 @@ type report struct {
 	} `json:"tracing"`
 	// History is the allocation trend: one entry per prior benchmark
 	// run, carried forward from the -baseline report (oldest first,
-	// capped at maxHistory).
+	// deduped and capped by trendlog.Append).
 	History []trend `json:"history,omitempty"`
 	Verdict string  `json:"verdict"`
 }
@@ -114,9 +115,6 @@ type trend struct {
 	ParAllocs   int64  `json:"parallel_allocs_per_op"`
 	ParWorkers  int    `json:"parallel_workers"`
 }
-
-// maxHistory bounds the trend log embedded in the report.
-const maxHistory = 20
 
 // trendOf summarises a report as a trend entry, using its widest
 // parallel measurement.
@@ -274,10 +272,8 @@ func main() {
 		// Inherit the baseline's trend log and append the baseline run
 		// itself, so the committed artifact accumulates one entry per
 		// regenerate.
-		rep.History = append(append(rep.History, base.History...), trendOf(base))
-		if n := len(rep.History); n > maxHistory {
-			rep.History = rep.History[n-maxHistory:]
-		}
+		rep.History = trendlog.Append(base.History,
+			func(t trend) string { return t.GeneratedAt }, trendOf(base))
 		if msg := gateAllocs(&rep, base, *allocsTolerance); msg != "" && fail == "" {
 			fail = msg
 		}

@@ -42,6 +42,7 @@ import (
 	"redotheory/internal/obs"
 	"redotheory/internal/serve"
 	"redotheory/internal/sim"
+	"redotheory/internal/trendlog"
 	"redotheory/internal/workload"
 )
 
@@ -76,13 +77,25 @@ type report struct {
 	// requires Ratio ≤ Tolerance.
 	Ratio     float64 `json:"ratio_p99_vs_offline"`
 	Tolerance float64 `json:"tolerance"`
-	// Served traffic and recovery-trigger split, summed over trials.
-	Reads   int64   `json:"reads"`
-	Writes  int64   `json:"writes"`
-	Lazy    int64   `json:"lazy_redo_components"`
-	Swept   int64   `json:"swept_components"`
-	History []trend `json:"history,omitempty"`
-	Verdict string  `json:"verdict"`
+	// Served traffic and recovery-trigger split, per-trial means (the
+	// engine is fresh each trial, so swept + lazy cannot exceed the
+	// plan's component count in any trial).
+	Reads    float64     `json:"reads_mean"`
+	Writes   float64     `json:"writes_mean"`
+	Lazy     float64     `json:"lazy_redo_components_mean"`
+	Swept    float64     `json:"swept_components_mean"`
+	PerTrial []trialStat `json:"per_trial"`
+	History  []trend     `json:"history,omitempty"`
+	Verdict  string      `json:"verdict"`
+}
+
+// trialStat is one trial's engine counters in the report.
+type trialStat struct {
+	Components int   `json:"components"`
+	Reads      int64 `json:"reads"`
+	Writes     int64 `json:"writes"`
+	Lazy       int64 `json:"lazy_redo_components"`
+	Swept      int64 `json:"swept_components"`
 }
 
 // trend is one historical run in the report's trend log, matching the
@@ -95,8 +108,6 @@ type trend struct {
 	OfflineNs   int64   `json:"offline_recovery_ns"`
 	Ratio       float64 `json:"ratio_p99_vs_offline"`
 }
-
-const maxHistory = 20
 
 func trendOf(r *report) trend {
 	return trend{
@@ -175,12 +186,17 @@ func runBench(out, baseline string, tolerance float64, cfg serve.BenchConfig) {
 	rep.Tolerance = tolerance
 	rep.Reads, rep.Writes = res.Reads, res.Writes
 	rep.Lazy, rep.Swept = res.Lazy, res.Swept
+	for _, ts := range res.PerTrial {
+		rep.PerTrial = append(rep.PerTrial, trialStat{
+			Components: ts.Components,
+			Reads:      ts.Reads, Writes: ts.Writes,
+			Lazy: ts.Lazy, Swept: ts.Swept,
+		})
+	}
 
 	if base != nil {
-		rep.History = append(append(rep.History, base.History...), trendOf(base))
-		if n := len(rep.History); n > maxHistory {
-			rep.History = rep.History[n-maxHistory:]
-		}
+		rep.History = trendlog.Append(base.History,
+			func(t trend) string { return t.GeneratedAt }, trendOf(base))
 	}
 
 	fail := ""
@@ -208,7 +224,7 @@ func runBench(out, baseline string, tolerance float64, cfg serve.BenchConfig) {
 	fmt.Printf("time to first read: p50 %s  p99 %s  max %s (%d samples)\n",
 		res.TTFRP50, res.TTFRP99, res.TTFRMax, res.Samples)
 	fmt.Printf("full recovery: offline %s, online (serving) %s\n", res.OfflineFull, res.OnlineFull)
-	fmt.Printf("served during recovery: %d reads, %d writes; components lazy %d / swept %d\n",
+	fmt.Printf("served during recovery (per-trial means): %.1f reads, %.1f writes; components lazy %.1f / swept %.1f\n",
 		res.Reads, res.Writes, res.Lazy, res.Swept)
 	fmt.Printf("wrote %s\n%s\n", out, rep.Verdict)
 	if fail != "" {

@@ -9,13 +9,16 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
 	"path/filepath"
-	"time"
+	"strconv"
+	"strings"
 	"text/tabwriter"
+	"time"
 
 	"redotheory/internal/btree"
 	"redotheory/internal/core"
@@ -60,6 +63,7 @@ func main() {
 	walfault := flag.Bool("walfault", false, "run WAL fault injection")
 	campaign := flag.Bool("campaign", false, "run the E18 media-fault campaign over all methods and fault kinds")
 	nestedCrash := flag.Bool("nested-crash", false, "run the nested-crash campaign: crash recovery itself on every schedule and assert the supervised restart loop converges")
+	shardsFlag := flag.String("shards", "", "comma-separated shard counts (e.g. 2,4): run the sharded certified-cut differential grid — per-shard recovery under the certified cut vs the merged single-log oracle — over all eligible methods × crash patterns × seeds")
 	maxAttempts := flag.Int("max-attempts", 0, "with -nested-crash: supervised attempt budget per cell (0 = schedule length + 8)")
 	progressCkpt := flag.Int("progress-ckpt", 0, "with -nested-crash: progress-checkpoint period K in installed ops (0 = after every install)")
 	artifactDir := flag.String("out", "", "with -nested-crash: directory for fuzz repro artifacts of failing cells")
@@ -106,6 +110,8 @@ func main() {
 		runCampaign(*nOps, *nPages, *seeds, *workers, metrics)
 	case *nestedCrash:
 		runNestedCrash(*nOps, *nPages, *seeds, *workers, *maxAttempts, *progressCkpt, *artifactDir, metrics)
+	case *shardsFlag != "":
+		runSharded(*shardsFlag, *nOps, *seeds, *artifactDir, metrics)
 	case *emitTrace:
 		if *methodName == "" || *crash < 0 {
 			fmt.Fprintln(os.Stderr, "redosim: -emit-trace requires -method and -crash")
@@ -123,7 +129,7 @@ func main() {
 	}
 
 	if *metricsOut != "" {
-		writeMetrics(metrics, *metricsOut, sourceLabel(*matrix, *campaign, *nestedCrash, *methodName))
+		writeMetrics(metrics, *metricsOut, sourceLabel(*matrix, *campaign, *nestedCrash, *shardsFlag, *methodName))
 	}
 	if *traceOut != "" {
 		writeTraceArtifact(*traceOut, *nOps, *nPages, *seed)
@@ -206,7 +212,7 @@ func sourceTraceLabel(nOps, nPages int, seed int64) string {
 }
 
 // sourceLabel names the producing mode for the report's source field.
-func sourceLabel(matrix, campaign, nestedCrash bool, methodName string) string {
+func sourceLabel(matrix, campaign, nestedCrash bool, shards, methodName string) string {
 	switch {
 	case matrix:
 		return "redosim -matrix"
@@ -214,6 +220,8 @@ func sourceLabel(matrix, campaign, nestedCrash bool, methodName string) string {
 		return "redosim -campaign"
 	case nestedCrash:
 		return "redosim -nested-crash"
+	case shards != "":
+		return "redosim -shards " + shards
 	case methodName != "":
 		return "redosim -method " + methodName
 	default:
@@ -543,6 +551,138 @@ func writeNestedArtifact(dir string, i int, r *sim.NestedCrashResult, nPages int
 		fatal(err)
 	}
 	fmt.Printf("  artifact: %s (replay with: redofuzz -repro %s)\n", path, path)
+}
+
+// shardRepro is the self-contained repro artifact for a failing
+// sharded differential cell: feeding these fields back into
+// sim.CheckSharded re-creates the exact run.
+type shardRepro struct {
+	Schema        string `json:"schema"`
+	Method        string `json:"method"`
+	Shards        int    `json:"shards"`
+	Ops           int    `json:"ops"`
+	PagesPerShard int    `json:"pages_per_shard"`
+	CrossEvery    int    `json:"cross_every"`
+	Seed          int64  `json:"seed"`
+	Crashes       []int  `json:"crashes"`
+	Check         string `json:"check"`
+	Detail        string `json:"detail"`
+}
+
+// runSharded sweeps the sharded certified-cut differential grid:
+// eligible methods × shard counts × crash patterns (synchronized and
+// per-shard staggered) × seeds. Every cell executes a cross-shard
+// history, crashes the shards at their configured points, computes the
+// certified cut, recovers each shard from its cut prefix (sequential
+// and parallel), audits each shard's projection with the invariant
+// checker, and compares the union against the merged single-log
+// oracle. Any divergence is a distributed-recovery bug; failing cells
+// are exported as repro artifacts when -out is set.
+func runSharded(shardsFlag string, nOps, nSeeds int, outDir string, metrics *sim.CampaignMetrics) {
+	var counts []int
+	for _, part := range strings.Split(shardsFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			fatal(fmt.Errorf("bad -shards value %q", part))
+		}
+		counts = append(counts, n)
+	}
+
+	type agg struct {
+		cells, ok, cross, skipped int
+		droppedTxns, droppedRecs  int
+		cutRecs, stableRecs       int
+	}
+	var keys []string
+	byKey := make(map[string]*agg)
+	var failures []shardRepro
+
+	for _, m := range sim.ShardableMethods() {
+		for _, nShards := range counts {
+			key := fmt.Sprintf("%s\t%d", m.Name, nShards)
+			a := &agg{}
+			keys = append(keys, key)
+			byKey[key] = a
+			for _, stagger := range []bool{false, true} {
+				for s := 0; s < nSeeds; s++ {
+					seed := int64(s + 1)
+					crashes := sim.DeriveCrashes(seed, nOps, nShards, stagger)
+					check, err := sim.CheckSharded(sim.ShardedConfig{
+						Method:   m,
+						Shards:   nShards,
+						NumOps:   nOps,
+						Seed:     seed,
+						Crashes:  crashes,
+						Recorder: metrics.Recorder(m.Name),
+					})
+					if err != nil {
+						fatal(err)
+					}
+					a.cells++
+					a.cross += check.CrossTxns
+					a.skipped += check.Skipped
+					a.droppedTxns += check.DroppedTxns
+					a.droppedRecs += check.DroppedRecords
+					a.cutRecs += check.CutRecords
+					a.stableRecs += check.StableRecords
+					if check.OK() {
+						a.ok++
+						continue
+					}
+					failures = append(failures, shardRepro{
+						Schema:        "redotheory/shardrepro/v1",
+						Method:        m.Name,
+						Shards:        nShards,
+						Ops:           nOps,
+						PagesPerShard: 4,
+						CrossEvery:    3,
+						Seed:          seed,
+						Crashes:       crashes,
+						Check:         "sharded-oracle",
+						Detail:        check.Mismatch,
+					})
+				}
+			}
+		}
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "method\tshards\tcells\tok\tcross txns\trefused ops\tdropped txns\tdropped records\tcut/stable records")
+	for _, key := range keys {
+		a := byKey[key]
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d/%d\n",
+			key, a.cells, a.ok, a.cross, a.skipped, a.droppedTxns, a.droppedRecs, a.cutRecs, a.stableRecs)
+	}
+	w.Flush()
+
+	if len(failures) == 0 {
+		fmt.Println("\nRESULT: sharded recovery from the certified cut matched the merged-log oracle in every cell")
+		return
+	}
+	for i, f := range failures {
+		fmt.Printf("  FAIL: %s×%d seed=%d crashes=%v: %s\n", f.Method, f.Shards, f.Seed, f.Crashes, f.Detail)
+		if outDir != "" {
+			writeShardArtifact(outDir, i, f)
+		}
+	}
+	fmt.Printf("RESULT: FAIL — %d sharded differential cells diverged\n", len(failures))
+	os.Exit(1)
+}
+
+// writeShardArtifact exports a failing sharded cell as a JSON repro.
+func writeShardArtifact(dir string, i int, f shardRepro) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fatal(err)
+	}
+	path := filepath.Join(dir, fmt.Sprintf("shardrepro-%03d.json", i))
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("  artifact: %s\n", path)
 }
 
 func runOne(name string, nOps, nPages, crash int, seed int64, online bool, workers int, metrics *sim.CampaignMetrics) {

@@ -36,6 +36,7 @@ import (
 const (
 	MCells         = "fuzz.cells"          // clean oracle cells checked
 	MFaultCells    = "fuzz.fault_cells"    // faulted campaign cells checked
+	MShardCells    = "fuzz.shard_cells"    // sharded differential cells checked
 	MHistories     = "fuzz.histories"      // distinct histories generated
 	MDisagreements = "fuzz.disagreements"  // oracle disagreements found
 	MRedoSize      = "fuzz.redo_size"      // sample: redo-set size per cell

@@ -10,6 +10,7 @@ import (
 	"redotheory/internal/model"
 	"redotheory/internal/obs"
 	"redotheory/internal/serve"
+	"redotheory/internal/shard"
 	"redotheory/internal/sim"
 	"redotheory/internal/supervise"
 	"redotheory/internal/workload"
@@ -193,6 +194,16 @@ func checkCellRun(m sim.NamedFactory, cell Cell, rec *obs.Recorder, flight *obs.
 		return dis, cov, nil
 	}
 
+	// Leg 9: sharded recovery. Independent of the cell's DB — it
+	// re-executes the cell-sized workload as a 2-shard cross-shard run
+	// (crash points staggered off the cell's crash) and requires
+	// per-shard recovery under the certified cut to match the merged
+	// single-log oracle. Skipped for methods the sharding coordinator
+	// cannot host and for empty histories.
+	if dis := checkShardedLeg(m, cell, rec); dis != nil {
+		return dis, cov, nil
+	}
+
 	// Leg 7: supervised recovery under the cell's nested-crash schedule.
 	sup, err := supervise.Supervise(db, supervise.Options{
 		MaxAttempts:   len(cell.NestedCrash) + 8,
@@ -311,6 +322,44 @@ func checkServe(db method.DB, cell Cell, seq *core.Result, oracle *model.State, 
 		return &disagreement{check: "serve-mixed-divergence",
 			detail: fmt.Sprintf("drained state diverges from oracle+writes on %v (touch seed %d)",
 				res2.State.Diff(ref), seed)}
+	}
+	return nil
+}
+
+// checkShardedLeg is oracle leg 9: the sharded differential oracle
+// (sim.CheckSharded) over a run shaped like the cell — same method,
+// same length, schedule seed mixed from the cell's, and per-shard
+// failure points staggered off the cell's crash point so the grid
+// sweeps shard-crash placements exactly as it sweeps single-log crash
+// points.
+func checkShardedLeg(m sim.NamedFactory, cell Cell, rec *obs.Recorder) *disagreement {
+	if !shard.Eligible(m.Name) || len(cell.History.Ops) == 0 {
+		return nil
+	}
+	numOps := len(cell.History.Ops)
+	crashes := make([]int, 2)
+	for i := range crashes {
+		crashes[i] = cell.Crash + 2*i
+		if crashes[i] > numOps {
+			crashes[i] = numOps
+		}
+	}
+	check, err := sim.CheckSharded(sim.ShardedConfig{
+		Method:        m,
+		Shards:        2,
+		NumOps:        numOps,
+		PagesPerShard: (cell.History.Pages + 1) / 2,
+		Seed:          sim.MixSeed(cell.Schedule.Seed, 9),
+		Crashes:       crashes,
+		Recorder:      rec,
+	})
+	if err != nil {
+		return &disagreement{check: "sharded-error", detail: err.Error()}
+	}
+	rec.Inc(MShardCells)
+	if !check.OK() {
+		return &disagreement{check: "sharded-oracle",
+			detail: fmt.Sprintf("crashes %v: %s", crashes, check.Mismatch)}
 	}
 	return nil
 }

@@ -69,12 +69,24 @@ type ParallelResult struct {
 // it works on the fresh projections StableState, StableLog, and a fresh
 // RedoTest return.
 func RecoverParallel(db DB, opts ParallelOptions) (*ParallelResult, error) {
+	return RecoverParallelLog(db, db.StableLog(), opts)
+}
+
+// RecoverParallelLog is RecoverParallel over an explicit stable-log
+// prefix instead of db.StableLog(). Sharded recovery (internal/shard)
+// replays each shard from its certified-cut prefix, which may be
+// strictly shorter than the shard's surviving log; every method's redo
+// test and checkpoint set remain sound on a prefix because both are
+// bounded by installed work, and the certification gate keeps installed
+// work inside the cut. The log must be a prefix of (or equal to)
+// db.StableLog(); the Verify oracle runs sequential recovery over the
+// same prefix.
+func RecoverParallelLog(db DB, log *core.Log, opts ParallelOptions) (*ParallelResult, error) {
 	rec := opts.Recorder
 	if rec == nil {
 		rec = db.Recorder()
 	}
 	state := db.StableState()
-	log := db.StableLog()
 	res, stats, err := recoverPartitioned(rec, state, log, db.Checkpointed(), db.RedoTest(), db.Analyze(), opts.Workers)
 	if err != nil {
 		return nil, err

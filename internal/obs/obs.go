@@ -81,6 +81,15 @@ const (
 	// (or the background sweeper) triggers. Its begin event carries
 	// Comp/Size/WriteN like PhaseComponent.
 	PhaseLazyRedo Phase = "lazyredo"
+	// PhaseShardRecover is one whole sharded recovery (internal/shard):
+	// cut computation plus every shard's per-shard recovery.
+	PhaseShardRecover Phase = "shardrecover"
+	// PhaseCut is the certified-cut computation over the shards' stable
+	// logs (transaction-table scan plus frontier retreat).
+	PhaseCut Phase = "cut"
+	// PhaseShardReplay is one shard's recovery inside a sharded
+	// recovery, annotated with the shard index as its component.
+	PhaseShardReplay Phase = "shardreplay"
 )
 
 // Metric names recorded by the instrumented packages. Durations land
@@ -130,6 +139,15 @@ const (
 	MServeTTFR     = "serve.ttfr"         // duration histogram: time from engine start to the first served read
 	GServePages    = "serve.pages_recovered" // gauge: pages (written variables) recovered so far
 	GServeComps    = "serve.components_recovered" // gauge: components recovered so far
+
+	// Sharded-database counters (internal/shard).
+	MShardCrossTxns   = "shard.cross_txns"     // cross-shard transactions executed
+	MShardCertify     = "shard.certifications" // certification passes run
+	MShardGateBlocked = "shard.gate_blocked"   // installs/checkpoints refused by the certification gate
+	MShardCutRetreats = "shard.cut_retreats"   // frontier-retreat steps during cut computation
+	MShardCutDropped  = "shard.cut_dropped_txns" // transactions outside the certified cut
+	MShardCutRecords  = "shard.cut_dropped_records" // stable records excluded by the cut
+	GShardCutLag      = "shard.cut_lag_records" // gauge: records between stable frontiers and the last cut, summed over shards
 
 	// Shared-cache effectiveness counters (core.ViewCache/GraphCache).
 	MViewHits    = "cache.view_hits"    // log-view cache hits

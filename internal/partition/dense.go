@@ -101,7 +101,7 @@ func (p *DensePlan) ReaderIndex(views []core.RecordView, numIDs int) [][]int32 {
 // instead of maps keyed by variable name. Same partition, no hashing:
 // TestFromViewsMatchesFromRecords asserts the correspondence.
 func FromViews(views []core.RecordView, replayIdx []int, numIDs int) *DensePlan {
-	uf := newUnionFind(len(replayIdx))
+	uf := NewUnionFind(len(replayIdx))
 	// writerOf[x] is the replay position of x's first scheduled writer
 	// (-1 when none yet); pending[x] collects readers seen before any
 	// writer — see FromRecords for why the first writer fuses with
@@ -115,18 +115,18 @@ func FromViews(views []core.RecordView, replayIdx []int, numIDs int) *DensePlan 
 		v := &views[vi]
 		for _, x := range v.Writes {
 			if w := writerOf[x]; w >= 0 {
-				uf.union(int(w), i)
+				uf.Union(int(w), i)
 			} else {
 				writerOf[x] = int32(i)
 				for _, reader := range pending[x] {
-					uf.union(int(reader), i)
+					uf.Union(int(reader), i)
 				}
 				pending[x] = nil
 			}
 		}
 		for _, x := range v.Reads {
 			if w := writerOf[x]; w >= 0 {
-				uf.union(int(w), i)
+				uf.Union(int(w), i)
 			} else {
 				pending[x] = append(pending[x], int32(i))
 			}
@@ -143,7 +143,7 @@ func FromViews(views []core.RecordView, replayIdx []int, numIDs int) *DensePlan 
 	wcounts := make([]int32, n)
 	comps := 0
 	for i := 0; i < n; i++ {
-		root := uf.find(i)
+		root := uf.Find(i)
 		if counts[root] == 0 {
 			comps++
 		}
@@ -152,7 +152,7 @@ func FromViews(views []core.RecordView, replayIdx []int, numIDs int) *DensePlan 
 	totalWrites := 0
 	for _, w := range writerOf {
 		if w >= 0 {
-			wcounts[uf.find(int(w))]++
+			wcounts[uf.Find(int(w))]++
 			totalWrites++
 		}
 	}
@@ -164,7 +164,7 @@ func FromViews(views []core.RecordView, replayIdx []int, numIDs int) *DensePlan 
 	plan := &DensePlan{Ops: n, Components: make([]*DenseComponent, 0, comps)}
 	idxOff, wOff := 0, 0
 	for i, vi := range replayIdx {
-		root := uf.find(i)
+		root := uf.Find(i)
 		c := compAt[root]
 		if c == nil {
 			c = &backing[len(plan.Components)]
@@ -185,7 +185,7 @@ func FromViews(views []core.RecordView, replayIdx []int, numIDs int) *DensePlan 
 	// sorted and each id exactly once.
 	for x, w := range writerOf {
 		if w >= 0 {
-			c := compAt[uf.find(int(w))]
+			c := compAt[uf.Find(int(w))]
 			c.Writes = append(c.Writes, uint32(x))
 		}
 	}

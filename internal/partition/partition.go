@@ -106,7 +106,7 @@ func FromLog(log *core.Log, redo graph.Set[model.OpID]) *Plan {
 // FromRecords plans the replay of the given records, which must be in
 // LSN order (as a log scan yields them).
 func FromRecords(records []*core.Record) *Plan {
-	uf := newUnionFind(len(records))
+	uf := NewUnionFind(len(records))
 	// Two operations interfere iff they access a common variable that at
 	// least one of them writes; union-find fuses the transitive closure.
 	// writerOf[x] is a representative index once x has a scheduled
@@ -119,18 +119,18 @@ func FromRecords(records []*core.Record) *Plan {
 	for i, r := range records {
 		for _, x := range r.Op.Writes() {
 			if w, ok := writerOf[x]; ok {
-				uf.union(w, i)
+				uf.Union(w, i)
 			} else {
 				writerOf[x] = i
 				for _, reader := range pending[x] {
-					uf.union(reader, i)
+					uf.Union(reader, i)
 				}
 				delete(pending, x)
 			}
 		}
 		for _, x := range r.Op.Reads() {
 			if w, ok := writerOf[x]; ok {
-				uf.union(w, i)
+				uf.Union(w, i)
 			} else {
 				pending[x] = append(pending[x], i)
 			}
@@ -140,7 +140,7 @@ func FromRecords(records []*core.Record) *Plan {
 	byRoot := make(map[int]*Component)
 	var order []int
 	for i, r := range records {
-		root := uf.find(i)
+		root := uf.Find(i)
 		c, ok := byRoot[root]
 		if !ok {
 			c = &Component{Writes: graph.NewSet[model.Var]()}
@@ -202,15 +202,19 @@ func (s Stats) Signature() string {
 	return fmt.Sprintf("%d/%d/%d", s.Ops, s.Components, s.Largest)
 }
 
-// unionFind is a standard disjoint-set forest over record indexes with
-// path halving and union by size.
-type unionFind struct {
+// UnionFind is a standard disjoint-set forest over dense indexes with
+// path halving and union by size. The planner closes interference
+// components with it; the sharded certified-cut computation
+// (internal/shard) reuses it to cluster the transactions a frontier
+// retreat entangles.
+type UnionFind struct {
 	parent []int
 	size   []int
 }
 
-func newUnionFind(n int) *unionFind {
-	uf := &unionFind{parent: make([]int, n), size: make([]int, n)}
+// NewUnionFind returns n singleton sets, one per index in [0, n).
+func NewUnionFind(n int) *UnionFind {
+	uf := &UnionFind{parent: make([]int, n), size: make([]int, n)}
 	for i := range uf.parent {
 		uf.parent[i] = i
 		uf.size[i] = 1
@@ -218,7 +222,8 @@ func newUnionFind(n int) *unionFind {
 	return uf
 }
 
-func (uf *unionFind) find(i int) int {
+// Find returns the canonical representative of i's set.
+func (uf *UnionFind) Find(i int) int {
 	for uf.parent[i] != i {
 		uf.parent[i] = uf.parent[uf.parent[i]]
 		i = uf.parent[i]
@@ -226,8 +231,9 @@ func (uf *unionFind) find(i int) int {
 	return i
 }
 
-func (uf *unionFind) union(a, b int) {
-	ra, rb := uf.find(a), uf.find(b)
+// Union merges the sets containing a and b.
+func (uf *UnionFind) Union(a, b int) {
+	ra, rb := uf.Find(a), uf.Find(b)
 	if ra == rb {
 		return
 	}
@@ -236,6 +242,17 @@ func (uf *unionFind) union(a, b int) {
 	}
 	uf.parent[rb] = ra
 	uf.size[ra] += uf.size[rb]
+}
+
+// Sets counts the distinct sets remaining.
+func (uf *UnionFind) Sets() int {
+	n := 0
+	for i := range uf.parent {
+		if uf.Find(i) == i {
+			n++
+		}
+	}
+	return n
 }
 
 // sortIDs sorts operation ids ascending (test helper shared via export).

@@ -94,7 +94,22 @@ type BenchResult struct {
 	// Ratio is TTFRP99 / OfflineFull: the fraction of an offline
 	// recovery wait a p99 client actually experiences.
 	Ratio float64
-	// Reads/Writes/Lazy/Swept are engine counters summed over trials.
+	// PerTrial holds each trial's engine counters. The engine is fresh
+	// per trial, so its counters are per-trial facts: a single trial can
+	// trigger at most Components recoveries split between lazy client
+	// touches and the sweeper.
+	PerTrial []TrialStats
+	// Reads/Writes/Lazy/Swept are per-trial means of the engine
+	// counters. (They were once sums over all trials, which reported a
+	// 144-component plan as thousands of swept components.)
+	Reads, Writes, Lazy, Swept float64
+}
+
+// TrialStats are one trial's engine counters: the interference
+// components in the trial's recovery plan and the served traffic and
+// recovery-trigger split observed while draining it.
+type TrialStats struct {
+	Components                 int
 	Reads, Writes, Lazy, Swept int64
 }
 
@@ -148,10 +163,10 @@ func RunBench(cfg BenchConfig) (*BenchResult, error) {
 				// The same Zipf parameters as workload.HotPage: clients
 				// hammer the pages the crashed history was hot on.
 				rng := rand.New(rand.NewSource(cfg.Seed + 101*int64(trial) + int64(c)))
-				z := rand.NewZipf(rng, 1.2, 16, uint64(len(pages)-1))
+				pick := workload.HotZipf(rng, pages)
 				nextID := model.OpID(len(ops) + 1 + c*cfg.Requests)
 				for r := 0; r < cfg.Requests; r++ {
-					p := pages[z.Uint64()]
+					p := pick()
 					if (r+1)%cfg.WriteEvery == 0 {
 						op := model.ReadWrite(nextID, "client", []model.Var{p}, []model.Var{p})
 						nextID++
@@ -188,11 +203,25 @@ func RunBench(cfg BenchConfig) (*BenchResult, error) {
 		}
 		st := eng.Stats()
 		onlines = append(onlines, st.FullRecovery)
-		res.Reads += st.Reads
-		res.Writes += st.Writes
-		res.Lazy += st.Lazy
-		res.Swept += st.Swept
+		res.PerTrial = append(res.PerTrial, TrialStats{
+			Components: st.Components,
+			Reads:      st.Reads, Writes: st.Writes,
+			Lazy: st.Lazy, Swept: st.Swept,
+		})
 		ttfrs = append(ttfrs, firsts...)
+	}
+
+	for _, ts := range res.PerTrial {
+		res.Reads += float64(ts.Reads)
+		res.Writes += float64(ts.Writes)
+		res.Lazy += float64(ts.Lazy)
+		res.Swept += float64(ts.Swept)
+	}
+	if n := float64(len(res.PerTrial)); n > 0 {
+		res.Reads /= n
+		res.Writes /= n
+		res.Lazy /= n
+		res.Swept /= n
 	}
 
 	sort.Slice(ttfrs, func(i, j int) bool { return ttfrs[i] < ttfrs[j] })

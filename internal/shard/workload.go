@@ -1,0 +1,87 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+
+	"redotheory/internal/model"
+)
+
+// CrossHistory generates n deterministic operations mixing single-shard
+// read-modify-writes with cross-shard transactions (every crossEvery-th
+// operation when crossEvery > 0), shaped so that every operation a
+// shard actually executes — the shard-local projection for a cross
+// transaction, the operation itself otherwise — is legal for the named
+// method:
+//
+//   - Cross transfers read and write one page on each of two shards, so
+//     each projection is a single-page read-modify-write: legal for
+//     every eligible method, physiological's strictest shape included.
+//   - Cross pulls read a remote page and read-modify-write one local
+//     page: the remote shard becomes a read-only participant (exercising
+//     dependency certification), and the writer-side projection is again
+//     a single-page read-modify-write.
+//   - Single-shard operations are single-page read-modify-writes, plus —
+//     for methods that accept arbitrary shapes — intra-shard multi-page
+//     operations.
+//
+// Operation ids are 1…n. CrossHistory errors for a non-eligible method
+// and degrades to a purely single-shard history when the pages span
+// fewer than two shards.
+func CrossHistory(name string, n int, pages []model.Var, router *Router, crossEvery int, seed int64) ([]*model.Op, error) {
+	if !Eligible(name) {
+		return nil, fmt.Errorf("shard: method %q is not shard-eligible", name)
+	}
+	if len(pages) == 0 {
+		return nil, nil
+	}
+	anyShape := name == "logical" || name == "grouplsn"
+
+	// Group the pages by owning shard; cross transactions need two
+	// distinct non-empty groups.
+	byShard := make(map[int][]model.Var)
+	var shards []int
+	for _, p := range pages {
+		s := router.Shard(p)
+		if len(byShard[s]) == 0 {
+			shards = append(shards, s)
+		}
+		byShard[s] = append(byShard[s], p)
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	ops := make([]*model.Op, n)
+	for i := range ops {
+		id := model.OpID(i + 1)
+		if crossEvery > 0 && len(shards) >= 2 && (i+1)%crossEvery == 0 {
+			// Two pages on two distinct shards.
+			si := shards[rng.Intn(len(shards))]
+			sj := shards[rng.Intn(len(shards))]
+			for sj == si {
+				sj = shards[rng.Intn(len(shards))]
+			}
+			a := byShard[si][rng.Intn(len(byShard[si]))]
+			b := byShard[sj][rng.Intn(len(byShard[sj]))]
+			if rng.Intn(2) == 0 {
+				ops[i] = model.ReadWrite(id, "xfer", []model.Var{a, b}, []model.Var{a, b})
+			} else {
+				ops[i] = model.ReadWrite(id, "pull", []model.Var{a, b}, []model.Var{a})
+			}
+			continue
+		}
+		s := shards[rng.Intn(len(shards))]
+		local := byShard[s]
+		if anyShape && len(local) >= 2 && rng.Intn(3) == 0 {
+			// Intra-shard multi-page operation (logical/grouplsn only).
+			j, k := rng.Intn(len(local)), rng.Intn(len(local))
+			if j == k {
+				k = (k + 1) % len(local)
+			}
+			ops[i] = model.ReadWrite(id, "wide", []model.Var{local[j], local[k]}, []model.Var{local[j], local[k]})
+			continue
+		}
+		p := local[rng.Intn(len(local))]
+		ops[i] = model.ReadWrite(id, "upd", []model.Var{p}, []model.Var{p})
+	}
+	return ops, nil
+}

@@ -1,0 +1,241 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"redotheory/internal/core"
+	"redotheory/internal/obs"
+	"redotheory/internal/shard"
+	"redotheory/internal/workload"
+)
+
+// ShardedConfig describes one sharded crash/recovery run: a CrossHistory
+// workload through an N-shard DB with a randomized per-shard background
+// schedule, per-shard failure points, a global crash, and distributed
+// recovery from the certified cut.
+type ShardedConfig struct {
+	// Method names the recovery method; it must be shard-eligible
+	// (shard.Eligible).
+	Method NamedFactory
+	// Shards is the shard count (default 2).
+	Shards int
+	// NumOps and PagesPerShard size the workload (defaults 36 and 4).
+	NumOps, PagesPerShard int
+	// CrossEvery makes every CrossEvery-th operation a cross-shard
+	// transaction (default 3).
+	CrossEvery int
+	// Seed drives the workload and the background schedule.
+	Seed int64
+	// Crashes[i] freezes shard i after that many global operations;
+	// nil derives staggered per-shard points from the seed. Use equal
+	// entries for a synchronized crash.
+	Crashes []int
+	// Recorder, when non-nil, is attached to the coordinator and
+	// threaded through recovery.
+	Recorder *obs.Recorder
+}
+
+// ShardedCheck is the verdict of one sharded differential run.
+type ShardedCheck struct {
+	Method string
+	Shards int
+	Seed   int64
+	// Skipped counts operations refused because a participant shard had
+	// already failed.
+	Skipped int
+	// CrossTxns counts the cross-shard transactions executed.
+	CrossTxns int
+	// Cut is the certified cut recovery replayed up to.
+	Cut []core.LSN
+	// DroppedTxns and DroppedRecords count the durable work the cut
+	// abandoned for atomicity; StableRecords and CutRecords total the
+	// per-shard logs and their cut prefixes.
+	DroppedTxns    int
+	DroppedRecords int
+	StableRecords  int
+	CutRecords     int
+	// InvariantOK is the per-shard-projection audit verdict.
+	InvariantOK bool
+	// Mismatch is empty when sharded recovery (sequential and parallel)
+	// agreed with the merged single-log oracle; otherwise it explains
+	// the first divergence.
+	Mismatch string
+}
+
+// OK reports whether the run passed: no oracle mismatch and every
+// shard projection explainable.
+func (c *ShardedCheck) OK() bool { return c.Mismatch == "" && c.InvariantOK }
+
+// ShardableMethods returns DefaultMethods restricted to the methods the
+// sharding coordinator supports (everything but physical logging).
+func ShardableMethods() []NamedFactory {
+	var out []NamedFactory
+	for _, m := range DefaultMethods() {
+		if shard.Eligible(m.Name) {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// DeriveCrashes returns per-shard failure points for the config:
+// staggered through the second half of the history when stagger is set,
+// a single synchronized point otherwise.
+func DeriveCrashes(seed int64, numOps, shards int, stagger bool) []int {
+	rng := rand.New(rand.NewSource(seed*977 + int64(shards)))
+	out := make([]int, shards)
+	sync := numOps/2 + rng.Intn(numOps/2+1)
+	for i := range out {
+		if stagger {
+			out[i] = numOps/2 + rng.Intn(numOps/2+1)
+		} else {
+			out[i] = sync
+		}
+	}
+	return out
+}
+
+// BuildShardedCrashed executes the configured run up to and including
+// the crash and returns the crashed DB plus how many operations were
+// refused due to failed participants. The background schedule
+// interleaves log forces, cut certifications, gated installs, gated
+// checkpoints, and log truncation per live shard.
+func BuildShardedCrashed(cfg ShardedConfig) (*shard.DB, int, error) {
+	if cfg.Shards == 0 {
+		cfg.Shards = 2
+	}
+	if cfg.NumOps == 0 {
+		cfg.NumOps = 36
+	}
+	if cfg.PagesPerShard == 0 {
+		cfg.PagesPerShard = 4
+	}
+	if cfg.CrossEvery == 0 {
+		cfg.CrossEvery = 3
+	}
+	if !shard.Eligible(cfg.Method.Name) {
+		return nil, 0, fmt.Errorf("sim: method %q is not shard-eligible", cfg.Method.Name)
+	}
+	pages := workload.Pages(cfg.PagesPerShard * cfg.Shards)
+	d := shard.New(shard.Factory(cfg.Method.New), cfg.Shards, workload.InitialState(pages))
+	d.SetRecorder(cfg.Recorder)
+	ops, err := shard.CrossHistory(cfg.Method.Name, cfg.NumOps, pages, d.Router(), cfg.CrossEvery, cfg.Seed)
+	if err != nil {
+		return nil, 0, err
+	}
+	crashes := cfg.Crashes
+	if crashes == nil {
+		crashes = DeriveCrashes(cfg.Seed, cfg.NumOps, cfg.Shards, true)
+	}
+	if len(crashes) != cfg.Shards {
+		return nil, 0, fmt.Errorf("sim: %d crash points for %d shards", len(crashes), cfg.Shards)
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed * 131))
+	skipped := 0
+	for k, op := range ops {
+		for i := 0; i < cfg.Shards; i++ {
+			if k == crashes[i] {
+				d.Freeze(i)
+			}
+		}
+		if err := d.Exec(op); err != nil {
+			if errors.Is(err, shard.ErrShardDown) {
+				skipped++
+				continue
+			}
+			return nil, 0, fmt.Errorf("sim: exec op %d: %w", k, err)
+		}
+		i := rng.Intn(cfg.Shards)
+		switch {
+		case rng.Float64() < 0.35:
+			d.FlushLog(i)
+		case rng.Float64() < 0.3:
+			if _, err := d.Certify(); err != nil {
+				return nil, 0, fmt.Errorf("sim: certify after op %d: %w", k, err)
+			}
+		case rng.Float64() < 0.4:
+			d.FlushOne(i)
+		case rng.Float64() < 0.2:
+			if err := d.Checkpoint(i); err != nil {
+				return nil, 0, fmt.Errorf("sim: checkpoint shard %d: %w", i, err)
+			}
+		case rng.Float64() < 0.3:
+			if _, err := d.Truncate(i); err != nil {
+				return nil, 0, fmt.Errorf("sim: truncate shard %d: %w", i, err)
+			}
+		}
+	}
+	d.Crash()
+	return d, skipped, nil
+}
+
+// CheckSharded runs the full sharded differential oracle: build a
+// crashed run, recover it per shard from the certified cut (sequential
+// dense replay, then partitioned parallel replay), audit every shard's
+// projection with the invariant checker, and compare both recovered
+// states against the merged single-log oracle. Any disagreement lands
+// in Mismatch; infrastructure failures (the run itself breaking) come
+// back as an error.
+func CheckSharded(cfg ShardedConfig) (*ShardedCheck, error) {
+	d, skipped, err := BuildShardedCrashed(cfg)
+	if err != nil {
+		return nil, err
+	}
+	check := &ShardedCheck{
+		Method:      cfg.Method.Name,
+		Shards:      d.N(),
+		Seed:        cfg.Seed,
+		Skipped:     skipped,
+		CrossTxns:   d.CrossTxns(),
+		InvariantOK: true,
+	}
+
+	out, err := d.Recover(shard.RecoverOptions{CheckInvariant: true, Recorder: cfg.Recorder})
+	if err != nil {
+		check.Mismatch = fmt.Sprintf("sequential sharded recovery: %v", err)
+		return check, nil
+	}
+	check.Cut = out.Cut.Frontier
+	check.DroppedTxns = len(out.Cut.Dropped)
+	check.DroppedRecords = out.DroppedRecords
+	for _, so := range out.Shards {
+		check.StableRecords += so.StableRecords
+		check.CutRecords += so.CutRecords
+		if so.Invariant != nil && !so.Invariant.OK {
+			check.InvariantOK = false
+			if check.Mismatch == "" {
+				check.Mismatch = fmt.Sprintf("shard %d projection: %s", so.Shard, so.Invariant.Summary())
+			}
+		}
+	}
+
+	oracle, err := d.MergedOracle(out.Cut)
+	if err != nil {
+		check.Mismatch = fmt.Sprintf("merged oracle: %v", err)
+		return check, nil
+	}
+	if !out.State.Equal(oracle) {
+		check.Mismatch = fmt.Sprintf("sharded recovery diverged from merged-log oracle on %v", out.State.Diff(oracle))
+		return check, nil
+	}
+
+	par, err := d.Recover(shard.RecoverOptions{Parallel: true, Recorder: cfg.Recorder})
+	if err != nil {
+		check.Mismatch = fmt.Sprintf("parallel sharded recovery: %v", err)
+		return check, nil
+	}
+	if !par.State.Equal(out.State) {
+		check.Mismatch = fmt.Sprintf("parallel sharded recovery diverged from sequential on %v", par.State.Diff(out.State))
+		return check, nil
+	}
+	for i := range out.Cut.Frontier {
+		if par.Cut.Frontier[i] != out.Cut.Frontier[i] {
+			check.Mismatch = fmt.Sprintf("cut not deterministic across recovery runs: %v vs %v", par.Cut.Frontier, out.Cut.Frontier)
+			return check, nil
+		}
+	}
+	return check, nil
+}

@@ -1,0 +1,60 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestShardableMethodsExcludesPhysical(t *testing.T) {
+	ms := ShardableMethods()
+	if len(ms) != len(DefaultMethods())-1 {
+		t.Fatalf("%d shardable methods, want all but physical", len(ms))
+	}
+	for _, m := range ms {
+		if m.Name == "physical" {
+			t.Fatal("physical listed as shardable")
+		}
+	}
+}
+
+func TestCheckShardedGrid(t *testing.T) {
+	for _, m := range ShardableMethods() {
+		for _, shards := range []int{2, 4} {
+			for _, stagger := range []bool{false, true} {
+				for seed := int64(1); seed <= 2; seed++ {
+					cfg := ShardedConfig{Method: m, Shards: shards, Seed: seed}
+					cfg.Crashes = DeriveCrashes(seed, 36, shards, stagger)
+					check, err := CheckSharded(cfg)
+					if err != nil {
+						t.Fatalf("%s×%d stagger=%v seed=%d: %v", m.Name, shards, stagger, seed, err)
+					}
+					if !check.OK() {
+						t.Errorf("%s×%d stagger=%v seed=%d: %s", m.Name, shards, stagger, seed, check.Mismatch)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCheckShardedRejectsPhysical(t *testing.T) {
+	var physical NamedFactory
+	for _, m := range DefaultMethods() {
+		if m.Name == "physical" {
+			physical = m
+		}
+	}
+	if _, err := CheckSharded(ShardedConfig{Method: physical, Seed: 1}); err == nil {
+		t.Fatal("CheckSharded accepted physical logging")
+	}
+}
+
+func ExampleCheckSharded() {
+	check, err := CheckSharded(ShardedConfig{Method: ShardableMethods()[0], Shards: 2, Seed: 3})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(check.Method, check.OK())
+	// Output: logical true
+}

@@ -1,0 +1,42 @@
+// Package trendlog maintains the bounded trend histories embedded in
+// the checked-in benchmark reports (BENCH_*.json). Each -bench run
+// inherits the baseline's history and appends the baseline itself as
+// one entry; left unchecked the log grows by one entry per run forever,
+// and re-running against an unchanged baseline duplicates its entry.
+// Append is the single place both cmd/redoserve and cmd/redobench cap
+// and dedupe that log.
+package trendlog
+
+// MaxHistory bounds every embedded trend log to the newest 50 runs.
+const MaxHistory = 50
+
+// Append returns history with the entries appended, deduplicated by key
+// and capped. An entry whose key matches one already present — the same
+// generated_at timestamp — is dropped, keeping the earliest occurrence;
+// entries with an empty key are never deduped (a legacy report may lack
+// timestamps). When the result exceeds MaxHistory the oldest entries
+// are dropped. The input slices are not modified.
+func Append[T any](history []T, key func(T) string, entries ...T) []T {
+	out := make([]T, 0, len(history)+len(entries))
+	seen := make(map[string]bool, len(history)+len(entries))
+	add := func(e T) {
+		k := key(e)
+		if k != "" {
+			if seen[k] {
+				return
+			}
+			seen[k] = true
+		}
+		out = append(out, e)
+	}
+	for _, e := range history {
+		add(e)
+	}
+	for _, e := range entries {
+		add(e)
+	}
+	if n := len(out); n > MaxHistory {
+		out = out[n-MaxHistory:]
+	}
+	return out
+}

@@ -1,0 +1,63 @@
+package trendlog
+
+import (
+	"fmt"
+	"testing"
+)
+
+type entry struct{ At string }
+
+func at(e entry) string { return e.At }
+
+func TestAppendDedupesByKey(t *testing.T) {
+	hist := []entry{{"t1"}, {"t2"}}
+	got := Append(hist, at, entry{"t2"}, entry{"t3"})
+	want := []entry{{"t1"}, {"t2"}, {"t3"}}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAppendDedupesWithinHistory(t *testing.T) {
+	// A report written before deduplication existed may already carry
+	// duplicate entries; Append scrubs them too.
+	hist := []entry{{"t1"}, {"t1"}, {"t2"}, {"t1"}}
+	got := Append(hist, at, entry{"t3"})
+	if len(got) != 3 || got[0].At != "t1" || got[1].At != "t2" || got[2].At != "t3" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestAppendCapsKeepingNewest(t *testing.T) {
+	var hist []entry
+	for i := 0; i < MaxHistory+10; i++ {
+		hist = Append(hist, at, entry{fmt.Sprintf("t%03d", i)})
+	}
+	if len(hist) != MaxHistory {
+		t.Fatalf("len = %d, want %d", len(hist), MaxHistory)
+	}
+	if hist[0].At != "t010" || hist[len(hist)-1].At != fmt.Sprintf("t%03d", MaxHistory+9) {
+		t.Fatalf("window = [%s, %s]: oldest not dropped first", hist[0].At, hist[len(hist)-1].At)
+	}
+}
+
+func TestAppendEmptyKeysNeverDeduped(t *testing.T) {
+	got := Append([]entry{{""}, {""}}, at, entry{""})
+	if len(got) != 3 {
+		t.Fatalf("empty-key entries collapsed: %v", got)
+	}
+}
+
+func TestAppendDoesNotMutateInput(t *testing.T) {
+	hist := make([]entry, 0, 8)
+	hist = append(hist, entry{"t1"})
+	Append(hist, at, entry{"t2"})
+	if hist[:cap(hist)][1] != (entry{}) {
+		t.Fatal("Append wrote into the input slice's spare capacity")
+	}
+}

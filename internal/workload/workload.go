@@ -38,19 +38,50 @@ func InitialState(pages []model.Var) *model.State {
 	return s
 }
 
+// Zipf returns a Zipf-distributed page picker (hot pages first) with
+// the given skew parameters. rand.NewZipf's imax argument would be
+// uint64(len(pages)-1), which collapses to imax=0 for a single page and
+// underflows to ^uint64(0) for an empty slice — NewZipf then returns
+// nil and the first pick panics. The degenerate fixtures are guarded
+// here instead: one page is always picked, and zero pages panics with a
+// diagnosable message (callers that tolerate empty fixtures must return
+// an empty history before picking).
+func Zipf(rng *rand.Rand, s, v float64, pages []model.Var) func() model.Var {
+	switch len(pages) {
+	case 0:
+		panic("workload: Zipf picker over zero pages")
+	case 1:
+		p := pages[0]
+		return func() model.Var { return p }
+	}
+	z := rand.NewZipf(rng, s, v, uint64(len(pages)-1))
+	return func() model.Var { return pages[z.Uint64()] }
+}
+
+// HotZipf is the Zipf picker with the serve/hot-page parameters
+// (s=1.2, v=16): a softened head so the hottest page draws a bounded
+// share of the traffic. The serve benchmark's clients share it with
+// HotPage/HeavyHotPage so post-crash traffic hits the pages the crashed
+// history was hot on.
+func HotZipf(rng *rand.Rand, pages []model.Var) func() model.Var {
+	return Zipf(rng, 1.2, 16, pages)
+}
+
 // zipfPick selects a page with a Zipf-ish skew (hot pages first) when
 // skew is true, uniformly otherwise.
 func zipfPick(rng *rand.Rand, pages []model.Var, skew bool) model.Var {
 	if !skew {
 		return pages[rng.Intn(len(pages))]
 	}
-	z := rand.NewZipf(rng, 1.3, 1, uint64(len(pages)-1))
-	return pages[z.Uint64()]
+	return Zipf(rng, 1.3, 1, pages)()
 }
 
 // SinglePage generates n read-modify-write operations, each touching
 // exactly one page.
 func SinglePage(n int, pages []model.Var, seed int64, skew bool) []*model.Op {
+	if len(pages) == 0 {
+		return nil
+	}
 	rng := rand.New(rand.NewSource(seed))
 	ops := make([]*model.Op, n)
 	for i := range ops {
@@ -63,6 +94,9 @@ func SinglePage(n int, pages []model.Var, seed int64, skew bool) []*model.Op {
 // ReadManyWriteOne generates n operations that read up to maxReads pages
 // and write exactly one.
 func ReadManyWriteOne(n int, pages []model.Var, maxReads int, seed int64) []*model.Op {
+	if len(pages) == 0 {
+		return nil
+	}
 	rng := rand.New(rand.NewSource(seed))
 	ops := make([]*model.Op, n)
 	for i := range ops {
@@ -80,6 +114,9 @@ func ReadManyWriteOne(n int, pages []model.Var, maxReads int, seed int64) []*mod
 
 // AnyShape generates n operations with arbitrary read and write sets.
 func AnyShape(n int, pages []model.Var, seed int64) []*model.Op {
+	if len(pages) == 0 {
+		return nil
+	}
 	rng := rand.New(rand.NewSource(seed))
 	ops := make([]*model.Op, n)
 	for i := range ops {
@@ -102,6 +139,9 @@ func AnyShape(n int, pages []model.Var, seed int64) []*model.Op {
 
 // BlindWrites generates n write-only operations.
 func BlindWrites(n int, pages []model.Var, seed int64) []*model.Op {
+	if len(pages) == 0 {
+		return nil
+	}
 	rng := rand.New(rand.NewSource(seed))
 	ops := make([]*model.Op, n)
 	for i := range ops {
@@ -119,6 +159,9 @@ func BlindWrites(n int, pages []model.Var, seed int64) []*model.Op {
 // dominates; with a uniform page pick each page's operation chain is an
 // independent replay component.
 func HeavySinglePage(n int, pages []model.Var, rounds int, seed int64) []*model.Op {
+	if len(pages) == 0 {
+		return nil
+	}
 	rng := rand.New(rand.NewSource(seed))
 	ops := make([]*model.Op, n)
 	for i := range ops {
@@ -154,13 +197,16 @@ func HeavySinglePage(n int, pages []model.Var, rounds int, seed int64) []*model.
 // exclusively with model.ReadWrite, so histories are reconstructible
 // from repro artifacts.
 func HotPage(n int, pages []model.Var, seed int64) []*model.Op {
+	if len(pages) == 0 {
+		return nil
+	}
 	rng := rand.New(rand.NewSource(seed))
 	// The head is softened (v = 16) so the hottest page draws a bounded
 	// share of the traffic — many times its uniform share, but still a
 	// small fraction of the whole: skew concentrates the working set
 	// without turning the history into one giant interference component
 	// whose on-demand replay would approach a full recovery.
-	z := rand.NewZipf(rng, 1.2, 16, uint64(len(pages)-1))
+	pick := HotZipf(rng, pages)
 	ops := make([]*model.Op, n)
 	burst := 0
 	var p model.Var
@@ -168,7 +214,7 @@ func HotPage(n int, pages []model.Var, seed int64) []*model.Op {
 		if burst > 0 {
 			burst-- // ride the current burst: same page again
 		} else {
-			p = pages[z.Uint64()]
+			p = pick()
 			if rng.Float64() < 0.2 {
 				burst = 1 + rng.Intn(4)
 			}
@@ -184,8 +230,11 @@ func HotPage(n int, pages []model.Var, seed int64) []*model.Op {
 // serve availability benchmark uses it as its crashed history — cold
 // pages carry real redo debt while clients hammer the hot set.
 func HeavyHotPage(n int, pages []model.Var, rounds int, seed int64) []*model.Op {
+	if len(pages) == 0 {
+		return nil
+	}
 	rng := rand.New(rand.NewSource(seed))
-	z := rand.NewZipf(rng, 1.2, 16, uint64(len(pages)-1))
+	pick := HotZipf(rng, pages)
 	ops := make([]*model.Op, n)
 	burst := 0
 	var p model.Var
@@ -193,7 +242,7 @@ func HeavyHotPage(n int, pages []model.Var, rounds int, seed int64) []*model.Op 
 		if burst > 0 {
 			burst--
 		} else {
-			p = pages[z.Uint64()]
+			p = pick()
 			if rng.Float64() < 0.2 {
 				burst = 1 + rng.Intn(4)
 			}
@@ -223,6 +272,9 @@ func HeavyHotPage(n int, pages []model.Var, rounds int, seed int64) []*model.Op 
 // write both) over the pages as accounts: a classic multi-variable
 // workload for the logical and physical methods.
 func BankTransfers(n int, pages []model.Var, seed int64) []*model.Op {
+	if len(pages) < 2 {
+		return nil
+	}
 	rng := rand.New(rand.NewSource(seed))
 	ops := make([]*model.Op, n)
 	for i := range ops {

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"math/rand"
 	"testing"
 
 	"redotheory/internal/conflict"
@@ -208,6 +209,78 @@ func TestHeavyHotPageTracksHotPageSequence(t *testing.T) {
 	if !s1.Equal(s2) {
 		t.Error("heavy generator not deterministic")
 	}
+}
+
+func TestGeneratorsOnDegenerateFixtures(t *testing.T) {
+	// rand.NewZipf(rng, s, v, uint64(len(pages)-1)) collapses to imax=0
+	// for one page and underflows to ^uint64(0) for zero pages (NewZipf
+	// then returns nil and the first pick panics). Every generator must
+	// survive pages ∈ {0, 1, 2}: empty fixtures yield empty histories,
+	// one page yields that page for every op.
+	gens := []struct {
+		name string
+		gen  func(n int, pages []model.Var, seed int64) []*model.Op
+	}{
+		{"single-page/uniform", func(n int, ps []model.Var, seed int64) []*model.Op { return SinglePage(n, ps, seed, false) }},
+		{"single-page/skew", func(n int, ps []model.Var, seed int64) []*model.Op { return SinglePage(n, ps, seed, true) }},
+		{"rmw", func(n int, ps []model.Var, seed int64) []*model.Op { return ReadManyWriteOne(n, ps, 3, seed) }},
+		{"any", AnyShape},
+		{"blind", BlindWrites},
+		{"heavy-single", func(n int, ps []model.Var, seed int64) []*model.Op { return HeavySinglePage(n, ps, 2, seed) }},
+		{"hot-page", HotPage},
+		{"heavy-hot", func(n int, ps []model.Var, seed int64) []*model.Op { return HeavyHotPage(n, ps, 2, seed) }},
+	}
+	for _, g := range gens {
+		for _, npages := range []int{0, 1, 2} {
+			pages := Pages(npages)
+			ops := g.gen(8, pages, 7)
+			if npages == 0 {
+				if len(ops) != 0 {
+					t.Errorf("%s over 0 pages: got %d ops, want none", g.name, len(ops))
+				}
+				continue
+			}
+			if len(ops) != 8 {
+				t.Errorf("%s over %d pages: got %d ops, want 8", g.name, npages, len(ops))
+			}
+			legal := graph.NewSet(pages...)
+			for _, op := range ops {
+				for _, v := range append(op.Reads(), op.Writes()...) {
+					if !legal.Has(v) {
+						t.Fatalf("%s over %d pages: op %s touches unknown page %s", g.name, npages, op, v)
+					}
+				}
+			}
+		}
+	}
+	// BankTransfers needs two distinct accounts; below that it must not
+	// spin forever looking for one.
+	for _, npages := range []int{0, 1, 2} {
+		ops := BankTransfers(4, Pages(npages), 7)
+		if npages < 2 && len(ops) != 0 {
+			t.Errorf("BankTransfers over %d pages: got %d ops, want none", npages, len(ops))
+		}
+		if npages == 2 && len(ops) != 4 {
+			t.Errorf("BankTransfers over 2 pages: got %d ops, want 4", npages)
+		}
+	}
+}
+
+func TestZipfPickerDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	one := Pages(1)
+	pick := Zipf(rng, 1.3, 1, one)
+	for i := 0; i < 5; i++ {
+		if p := pick(); p != one[0] {
+			t.Fatalf("single-page Zipf picked %s", p)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Zipf over zero pages did not panic")
+		}
+	}()
+	Zipf(rng, 1.3, 1, nil)
 }
 
 func TestShapesForIncludeHotPage(t *testing.T) {
